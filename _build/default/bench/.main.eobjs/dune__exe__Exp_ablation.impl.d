@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Exp_common List Printf Proteus Proteus_cc Proteus_net Proteus_stats

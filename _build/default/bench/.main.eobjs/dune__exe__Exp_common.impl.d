@@ -1,0 +1,1 @@
+bench/exp_common.ml: Array List Option Printf Proteus Proteus_cc Proteus_net Proteus_stats

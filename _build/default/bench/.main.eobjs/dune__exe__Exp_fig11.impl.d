@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Array Exp_common List Printf Proteus_cc Proteus_net Proteus_stats Proteus_video Proteus_web

@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Array Exp_common List Printf Proteus Proteus_net Proteus_stats Proteus_video

@@ -1,0 +1,1 @@
+bench/exp_fig14.ml: Array Exp_common Printf Proteus_net

@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Array Exp_common Float List Printf Proteus_cc Proteus_net Proteus_stats

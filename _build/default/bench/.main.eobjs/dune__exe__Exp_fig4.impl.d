@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Array Exp_common List Printf Proteus_stats

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Array Exp_common List Printf Proteus_net Proteus_stats

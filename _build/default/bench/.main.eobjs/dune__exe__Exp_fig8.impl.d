@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Array Exp_common Float List Printf Proteus_net Proteus_stats

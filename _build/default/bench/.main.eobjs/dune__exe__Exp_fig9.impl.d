@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Array Exp_common Float List Printf Proteus_net Proteus_stats

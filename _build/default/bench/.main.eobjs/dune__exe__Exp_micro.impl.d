@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Bechamel Benchmark Exp_common Hashtbl List Measure Printf Proteus Proteus_cc Proteus_eventsim Proteus_net Proteus_stats Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_theory.ml: Array Equilibrium Exp_common List Presets Printf Proteus Proteus_net Proteus_stats

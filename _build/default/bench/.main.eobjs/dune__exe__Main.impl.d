@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_common Exp_fig11 Exp_fig12 Exp_fig14 Exp_fig2 Exp_fig3 Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig8 Exp_fig9 Exp_micro Exp_theory List Printf String Sys Unix

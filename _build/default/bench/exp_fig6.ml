@@ -1,0 +1,156 @@
+(* Fig. 6 + Fig. 7: scavenger-vs-primary two-flow competition on the
+   50 Mbps / 30 ms Emulab link with shallow (75 KB) and deep (375 KB)
+   buffers. Fig. 6 reports the primary-throughput ratio and the joint
+   utilization; Fig. 7 the 95th-percentile RTT ratio (375 KB).
+   Fig. 19/20 (Appendix B) add LEDBAT-25 as the scavenger. *)
+
+module Net = Proteus_net
+module D = Proteus_stats.Descriptive
+
+(* Primary-alone runs are shared across scavengers: memoize. *)
+let alone_cache : (string * int * int, float * float) Hashtbl.t =
+  Hashtbl.create 64
+
+let alone_run (p : Exp_common.proto) ~buffer_bytes ~seed =
+  let key = (p.Exp_common.name, buffer_bytes, seed) in
+  match Hashtbl.find_opt alone_cache key with
+  | Some v -> v
+  | None ->
+      let duration = Exp_common.pair_duration () in
+      let t0 = duration /. 3.0 in
+      let cfg = Exp_common.emulab_cfg ~buffer_bytes () in
+      let r = Net.Runner.create ~seed cfg in
+      let f = Net.Runner.add_flow r ~label:"alone" ~factory:(p.Exp_common.make ()) in
+      Net.Runner.run r ~until:duration;
+      let st = Net.Runner.stats f in
+      let tput = Net.Flow_stats.throughput_mbps st ~t0 ~t1:duration in
+      let p95 =
+        Option.value ~default:0.0
+          (Net.Flow_stats.rtt_percentile st ~t0 ~t1:duration ~p:95.0)
+      in
+      Hashtbl.replace alone_cache key (tput, p95);
+      (tput, p95)
+
+type cell = {
+  ratio : float;
+  utilization : float;
+  rtt_ratio : float;
+  scav_tput : float;
+}
+
+let compete ~(primary : Exp_common.proto) ~(scavenger : Exp_common.proto)
+    ~buffer_bytes =
+  let n = Exp_common.trials () in
+  let cells =
+    List.init n (fun i ->
+        let seed = (i * 13) + 1 in
+        let alone_tput, alone_p95 = alone_run primary ~buffer_bytes ~seed in
+        let duration = Exp_common.pair_duration () in
+        let t0 = duration /. 3.0 in
+        let cfg = Exp_common.emulab_cfg ~buffer_bytes () in
+        let r = Net.Runner.create ~seed:(seed + 500) cfg in
+        let pf =
+          Net.Runner.add_flow r ~label:"primary"
+            ~factory:(primary.Exp_common.make ())
+        in
+        let sf =
+          Net.Runner.add_flow r ~start:(duration /. 6.0) ~label:"scav"
+            ~factory:(scavenger.Exp_common.make ())
+        in
+        Net.Runner.run r ~until:duration;
+        let tput =
+          Net.Flow_stats.throughput_mbps (Net.Runner.stats pf) ~t0 ~t1:duration
+        in
+        let p95 =
+          Option.value ~default:0.0
+            (Net.Flow_stats.rtt_percentile (Net.Runner.stats pf) ~t0
+               ~t1:duration ~p:95.0)
+        in
+        let scav =
+          Net.Flow_stats.throughput_mbps (Net.Runner.stats sf) ~t0 ~t1:duration
+        in
+        {
+          ratio = (if alone_tput > 0.0 then tput /. alone_tput else 0.0);
+          utilization = (tput +. scav) /. 50.0;
+          rtt_ratio = (if alone_p95 > 0.0 then p95 /. alone_p95 else 0.0);
+          scav_tput = scav;
+        })
+  in
+  let avg f = D.mean (Array.of_list (List.map f cells)) in
+  {
+    ratio = avg (fun c -> c.ratio);
+    utilization = avg (fun c -> c.utilization);
+    rtt_ratio = avg (fun c -> c.rtt_ratio);
+    scav_tput = avg (fun c -> c.scav_tput);
+  }
+
+let scavengers ?(appendix = false) () =
+  if appendix then [ Exp_common.ledbat_25 ]
+  else
+    [ Exp_common.ledbat_100; Exp_common.proteus_s; Exp_common.proteus_p;
+      Exp_common.copa ]
+
+let run ?(appendix = false) () =
+  let title =
+    if appendix then
+      "Fig. 19+20 (Appendix B) — LEDBAT-25 as scavenger vs primaries"
+    else "Fig. 6 — scavenger vs primary competition (50 Mbps, 30 ms)"
+  in
+  Exp_common.header title;
+  let results =
+    List.map
+      (fun scav ->
+        ( scav,
+          List.map
+            (fun prim ->
+              ( prim,
+                List.map
+                  (fun buffer_kb ->
+                    ( buffer_kb,
+                      compete ~primary:prim ~scavenger:scav
+                        ~buffer_bytes:(Net.Units.kb buffer_kb) ))
+                  [ 75.0; 375.0 ] ))
+            Exp_common.primaries ))
+      (scavengers ~appendix ())
+  in
+  List.iter
+    (fun ((scav : Exp_common.proto), rows) ->
+      Exp_common.subheader
+        (Printf.sprintf "%s as scavenger: primary ratio %% / joint utilization %%"
+           scav.Exp_common.name);
+      Printf.printf "%-12s %14s %14s\n" "primary" "75KB buffer" "375KB buffer";
+      List.iter
+        (fun ((prim : Exp_common.proto), cells) ->
+          Printf.printf "%-12s" prim.Exp_common.name;
+          List.iter
+            (fun (_, c) ->
+              Printf.printf "  %5.1f / %5.1f" (100.0 *. c.ratio)
+                (100.0 *. c.utilization))
+            cells;
+          Printf.printf "   (scav %4.1f Mbps @375KB)\n"
+            (snd (List.nth cells 1)).scav_tput)
+        rows)
+    results;
+  Exp_common.subheader
+    (if appendix then "Fig. 20 — 95th-%%ile RTT ratio (375 KB buffer)"
+     else "Fig. 7 — 95th-%ile RTT ratio with competition (375 KB buffer)");
+  Printf.printf "%-12s" "primary";
+  List.iter
+    (fun (s, _) -> Printf.printf "%12s" s.Exp_common.name)
+    results;
+  print_newline ();
+  List.iter
+    (fun (prim : Exp_common.proto) ->
+      Printf.printf "%-12s" prim.Exp_common.name;
+      List.iter
+        (fun (_, rows) ->
+          let _, cells = List.find (fun (p, _) -> p == prim) rows in
+          let _, c375 = List.nth cells 1 in
+          Printf.printf "%12.2f" c375.rtt_ratio)
+        results;
+      print_newline ())
+    Exp_common.primaries;
+  Printf.printf
+    "\nShape check: Proteus-S keeps primary ratio >= ~90%% everywhere and\n\
+     RTT ratio ~1; LEDBAT fair-shares with CUBIC, crushes latency-aware\n\
+     primaries, and inflates their RTT (e.g. ~2x for COPA).\n"

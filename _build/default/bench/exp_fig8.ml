@@ -1,0 +1,67 @@
+(* Fig. 8: robustness sweep — primary throughput ratio CDF across a
+   grid of bottleneck configurations (bandwidth x RTT x buffer-in-BDP),
+   Proteus-S vs LEDBAT as the scavenger for BBR, CUBIC and Proteus-P
+   primaries. The paper's full grid is 6 x 6 x 5 = 180 configs; the
+   default here is a representative sub-grid (use --full for all 180). *)
+
+module Net = Proteus_net
+module D = Proteus_stats.Descriptive
+
+let grid () =
+  let bws, rtts, bufs =
+    Exp_common.pick
+      ~fast:([ 20.0; 100.0 ], [ 10.0; 60.0 ], [ 0.5; 2.0 ])
+      ~default:([ 20.0; 50.0; 100.0; 300.0 ], [ 10.0; 30.0; 100.0 ], [ 0.5; 2.0 ])
+      ~full:
+        ( [ 20.0; 50.0; 100.0; 200.0; 300.0; 500.0 ],
+          [ 5.0; 10.0; 30.0; 60.0; 100.0; 200.0 ],
+          [ 0.2; 0.5; 1.0; 2.0; 5.0 ] )
+  in
+  List.concat_map
+    (fun bw ->
+      List.concat_map
+        (fun rtt ->
+          List.map
+            (fun bdp_mult ->
+              let buffer =
+                int_of_float
+                  (Float.max 4500.0
+                     (bdp_mult *. Net.Units.bdp_bytes ~bandwidth_mbps:bw ~rtt_ms:rtt))
+              in
+              (bw, rtt, buffer))
+            bufs)
+        rtts)
+    bws
+
+let ratio ~(primary : Exp_common.proto) ~(scavenger : Exp_common.proto)
+    ~bandwidth_mbps ~rtt_ms ~buffer_bytes =
+  let r =
+    Exp_common.pair_run ~seed:7 ~bandwidth_mbps ~rtt_ms ~buffer_bytes
+      ~primary:primary.Exp_common.make ~scavenger:scavenger.Exp_common.make ()
+  in
+  r.Exp_common.ratio
+
+let run () =
+  Exp_common.header
+    "Fig. 8 — primary throughput ratio CDF across bottleneck configurations";
+  let configs = grid () in
+  Printf.printf "grid: %d configurations\n" (List.length configs);
+  List.iter
+    (fun (primary : Exp_common.proto) ->
+      Exp_common.subheader (primary.Exp_common.name ^ " as primary");
+      List.iter
+        (fun (scav : Exp_common.proto) ->
+          let ratios =
+            Array.of_list
+              (List.map
+                 (fun (bw, rtt, buffer) ->
+                   ratio ~primary ~scavenger:scav ~bandwidth_mbps:bw
+                     ~rtt_ms:rtt ~buffer_bytes:buffer)
+                 configs)
+          in
+          Exp_common.print_cdf ("vs " ^ scav.Exp_common.name) ratios)
+        [ Exp_common.proteus_s; Exp_common.ledbat_100 ])
+    [ Exp_common.bbr; Exp_common.cubic; Exp_common.proteus_p ];
+  Printf.printf
+    "\nShape check: the Proteus-S CDF lies to the right of LEDBAT's for\n\
+     every primary (paper medians: +7.8%% BBR, +28%% CUBIC, +2.8x Proteus-P).\n"

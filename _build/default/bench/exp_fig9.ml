@@ -1,0 +1,116 @@
+(* Fig. 9 + Fig. 10 (and Appendix B Fig. 21/22): performance over noisy
+   "WiFi" paths. The paper measures 64 real source-destination pairs
+   (4 WiFi uplinks x 16 AWS regions); we emulate a population of paths
+   with the WiFi noise model and randomized bandwidth / base RTT.
+
+   Fig. 9: single-flow throughput per path, normalized by the best
+   protocol on that path — CDF across paths.
+   Fig. 10: two-flow yield test per path — CDF of the primary
+   throughput ratio vs Proteus-S and vs LEDBAT. *)
+
+module Net = Proteus_net
+module Stats = Proteus_stats
+module D = Stats.Descriptive
+
+type path = { bw : float; rtt : float; buffer : int; seed : int }
+
+let paths () =
+  let n = Exp_common.pick ~fast:8 ~default:16 ~full:64 in
+  let rng = Stats.Rng.create ~seed:2024 in
+  List.init n (fun i ->
+      let bw = Stats.Rng.uniform rng ~lo:20.0 ~hi:120.0 in
+      let rtt = Stats.Rng.uniform rng ~lo:20.0 ~hi:80.0 in
+      let bdp = Net.Units.bdp_bytes ~bandwidth_mbps:bw ~rtt_ms:rtt in
+      {
+        bw;
+        rtt;
+        buffer = int_of_float (Stats.Rng.uniform rng ~lo:1.0 ~hi:2.5 *. bdp);
+        seed = 100 + i;
+      })
+
+let duration () = Exp_common.pick ~fast:30.0 ~default:60.0 ~full:120.0
+
+let single_tput (p : Exp_common.proto) (path : path) =
+  let cfg =
+    Net.Link.config ~noise:Net.Noise.default_wifi ~bandwidth_mbps:path.bw
+      ~rtt_ms:path.rtt ~buffer_bytes:path.buffer ()
+  in
+  let r = Net.Runner.create ~seed:path.seed cfg in
+  let f = Net.Runner.add_flow r ~label:"x" ~factory:(p.Exp_common.make ()) in
+  let dur = duration () in
+  Net.Runner.run r ~until:dur;
+  Net.Flow_stats.throughput_mbps (Net.Runner.stats f) ~t0:(dur /. 3.0) ~t1:dur
+
+let fig9 ~lineup =
+  Exp_common.subheader
+    "Fig. 9 — single flow on WiFi paths: normalized throughput CDF";
+  let ps = paths () in
+  let raw =
+    List.map (fun p -> (p, List.map (fun path -> single_tput p path) ps)) lineup
+  in
+  (* Normalize per path by the best protocol on that path. *)
+  let n_paths = List.length ps in
+  let best =
+    List.init n_paths (fun i ->
+        List.fold_left
+          (fun acc (_, tputs) -> Float.max acc (List.nth tputs i))
+          0.0 raw)
+  in
+  List.iter
+    (fun ((p : Exp_common.proto), tputs) ->
+      let normalized =
+        Array.of_list
+          (List.mapi
+             (fun i t ->
+               let b = List.nth best i in
+               if b > 0.0 then t /. b else 0.0)
+             tputs)
+      in
+      Exp_common.print_cdf p.Exp_common.name normalized)
+    raw;
+  Printf.printf
+    "Shape check: CUBIC/BBR top (aggressive); COPA and Vivace lowest\n\
+     (noise-sensitive); Proteus-P/-S competitive within their classes.\n"
+
+let yield_ratio ~(primary : Exp_common.proto) ~(scavenger : Exp_common.proto)
+    (path : path) =
+  let r =
+    Exp_common.pair_run ~seed:path.seed ~noise:Net.Noise.default_wifi
+      ~bandwidth_mbps:path.bw ~rtt_ms:path.rtt ~buffer_bytes:path.buffer
+      ~primary:primary.Exp_common.make ~scavenger:scavenger.Exp_common.make ()
+  in
+  r.Exp_common.ratio
+
+let fig10 ~scavengers =
+  Exp_common.subheader
+    "Fig. 10 — primary throughput ratio on WiFi paths (CDF)";
+  let ps = paths () in
+  List.iter
+    (fun (primary : Exp_common.proto) ->
+      Printf.printf "%s as primary:\n" primary.Exp_common.name;
+      List.iter
+        (fun (scav : Exp_common.proto) ->
+          let ratios =
+            Array.of_list
+              (List.map (fun path -> yield_ratio ~primary ~scavenger:scav path) ps)
+          in
+          Exp_common.print_cdf ("  vs " ^ scav.Exp_common.name) ratios)
+        scavengers)
+    Exp_common.primaries;
+  Printf.printf
+    "Shape check: vs Proteus-S every primary's ratio CDF sits right of\n\
+     the LEDBAT curve; biggest gains for latency-aware primaries.\n"
+
+let run ?(appendix = false) () =
+  if appendix then begin
+    Exp_common.header
+      "Fig. 21+22 (Appendix B) — WiFi performance incl. LEDBAT-25";
+    fig9 ~lineup:Exp_common.lineup_b;
+    fig10 ~scavengers:[ Exp_common.proteus_s; Exp_common.ledbat_25;
+                        Exp_common.ledbat_100 ]
+  end
+  else begin
+    Exp_common.header "Fig. 9+10 — real-world-style WiFi evaluation (emulated)";
+    fig9 ~lineup:Exp_common.lineup;
+    fig10 ~scavengers:[ Exp_common.proteus_s; Exp_common.ledbat_100 ]
+  end

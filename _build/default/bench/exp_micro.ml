@@ -1,0 +1,102 @@
+(* Bechamel microbenchmarks of the simulator's hot paths: event heap
+   churn, link admission, MI metric extraction, utility evaluation, and
+   a full simulated second of a loaded bottleneck. *)
+
+open Bechamel
+module Net = Proteus_net
+
+let heap_test =
+  Test.make ~name:"heap push+pop x100"
+    (Staged.stage (fun () ->
+         let h = Proteus_eventsim.Heap.create () in
+         for i = 0 to 99 do
+           Proteus_eventsim.Heap.push h ~time:(float_of_int (i * 7919 mod 100)) i
+         done;
+         for _ = 0 to 99 do
+           ignore (Proteus_eventsim.Heap.pop h)
+         done))
+
+let link_test =
+  let cfg =
+    Net.Link.config ~bandwidth_mbps:100.0 ~rtt_ms:30.0 ~buffer_bytes:375_000 ()
+  in
+  Test.make ~name:"link transmit x100"
+    (Staged.stage (fun () ->
+         let link = Net.Link.create cfg ~rng:(Proteus_stats.Rng.create ~seed:1) in
+         for i = 0 to 99 do
+           ignore (Net.Link.transmit link ~now:(float_of_int i *. 0.001) ~size:1500)
+         done))
+
+let mi_test =
+  Test.make ~name:"MI metrics (50 samples)"
+    (Staged.stage (fun () ->
+         let mi = Proteus.Mi.create ~id:0 ~target_rate:125_000.0 ~start_time:0.0 in
+         for i = 0 to 49 do
+           Proteus.Mi.record_sent mi ~size:1500;
+           Proteus.Mi.record_ack mi
+             ~send_time:(float_of_int i *. 0.001)
+             ~rtt:(Some (0.03 +. (0.0001 *. float_of_int (i mod 7))))
+         done;
+         Proteus.Mi.close mi ~end_time:0.05;
+         ignore (Proteus.Mi.metrics mi)))
+
+let utility_test =
+  let u = Proteus.Utility.proteus_s () in
+  let m =
+    {
+      Proteus.Mi.send_rate_mbps = 10.0;
+      target_rate_mbps = 10.0;
+      loss_rate = 0.01;
+      avg_rtt = 0.05;
+      rtt_gradient = 0.001;
+      rtt_deviation = 0.0005;
+      regression_error = 0.0001;
+      n_rtt_samples = 50;
+      duration = 0.05;
+    }
+  in
+  Test.make ~name:"utility eval x100"
+    (Staged.stage (fun () ->
+         for _ = 0 to 99 do
+           ignore (Proteus.Utility.eval u m)
+         done))
+
+let sim_second_test =
+  Test.make ~name:"1 sim-second, 2 flows @50Mbps"
+    (Staged.stage (fun () ->
+         let cfg =
+           Net.Link.config ~bandwidth_mbps:50.0 ~rtt_ms:30.0
+             ~buffer_bytes:375_000 ()
+         in
+         let r = Net.Runner.create cfg in
+         ignore (Net.Runner.add_flow r ~label:"a"
+                   ~factory:(Proteus_cc.Cubic.factory ()));
+         ignore (Net.Runner.add_flow r ~label:"b"
+                   ~factory:(Proteus.Presets.proteus_s ()));
+         Net.Runner.run r ~until:1.0))
+
+let tests =
+  Test.make_grouped ~name:"pcc-proteus"
+    [ heap_test; link_test; mi_test; utility_test; sim_second_test ]
+
+let run () =
+  Exp_common.header "Microbenchmarks (bechamel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let clock = Hashtbl.find merged (Measure.label Toolkit.Instance.monotonic_clock) in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    clock

@@ -1,0 +1,85 @@
+(* Benchmark harness: one entry per paper figure (see DESIGN.md's
+   per-experiment index).
+
+   Usage:  dune exec bench/main.exe -- [--fast|--full] [ids...]
+   ids: fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig11 fig12 fig14
+        appendix theory ablation micro all (default: all) *)
+
+let experiments : (string * (unit -> unit)) list =
+  [
+    ("fig2", Exp_fig2.run);
+    ("fig3", fun () -> Exp_fig3.run ());
+    ("fig4", fun () -> Exp_fig4.run ());
+    ("fig5", fun () -> Exp_fig5.run ());
+    ("fig6", fun () -> Exp_fig6.run ());
+    ("fig8", Exp_fig8.run);
+    ("fig9", fun () -> Exp_fig9.run ());
+    ("fig11", Exp_fig11.run);
+    ("fig12", Exp_fig12.run);
+    ("fig14", Exp_fig14.run);
+    ("figB-buffers", fun () -> Exp_fig3.run ~appendix:true ());
+    ("figB-loss", fun () -> Exp_fig4.run ~appendix:true ());
+    ("figB-fairness", fun () -> Exp_fig5.run ~appendix:true ());
+    ("figB-yield", fun () -> Exp_fig6.run ~appendix:true ());
+    ("figB-wifi", fun () -> Exp_fig9.run ~appendix:true ());
+    ("theory", Exp_theory.run);
+    ("ablation", Exp_ablation.run);
+    ("micro", Exp_micro.run);
+  ]
+
+let appendix_ids =
+  [ "figB-buffers"; "figB-loss"; "figB-fairness"; "figB-yield"; "figB-wifi" ]
+
+let usage () =
+  Printf.printf "usage: main.exe [--fast|--full] [ids...]\nids:\n";
+  List.iter (fun (id, _) -> Printf.printf "  %s\n" id) experiments;
+  Printf.printf "  appendix (= %s)\n  all (default)\n"
+    (String.concat " " appendix_ids)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let ids =
+    List.filter_map
+      (fun a ->
+        match a with
+        | "--fast" ->
+            Exp_common.scale := Exp_common.Fast;
+            None
+        | "--full" ->
+            Exp_common.scale := Exp_common.Full;
+            None
+        | "--help" | "-h" ->
+            usage ();
+            exit 0
+        | id -> Some id)
+      args
+  in
+  let ids = if ids = [] then [ "all" ] else ids in
+  let ids =
+    List.concat_map
+      (fun id ->
+        match id with
+        | "all" -> List.map fst experiments
+        | "appendix" -> appendix_ids
+        | _ -> [ id ])
+      ids
+  in
+  let t_start = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s done in %.1f s]\n%!" id (Unix.gettimeofday () -. t0)
+      | None ->
+          Printf.eprintf "unknown experiment %S\n" id;
+          usage ();
+          exit 1)
+    ids;
+  Printf.printf "\nTotal: %.1f s (scale: %s)\n"
+    (Unix.gettimeofday () -. t_start)
+    (match !Exp_common.scale with
+    | Exp_common.Fast -> "fast"
+    | Exp_common.Default -> "default"
+    | Exp_common.Full -> "full")

@@ -1,0 +1,193 @@
+(* proteus-sim: run ad-hoc congestion-control scenarios from the
+   command line.
+
+   Examples:
+     proteus-sim cubic proteus-s@10
+         CUBIC from t=0, a Proteus-S scavenger joining at t=10 s.
+     proteus-sim --bw 100 --rtt 60 --buffer-kb 1500 bbr ledbat
+     proteus-sim --noise wifi --series 1 proteus-p
+     proteus-sim --loss 0.02 vivace cubic:50
+         50 MB finite CUBIC transfer under 2% random loss.
+
+   Flow spec: PROTO[@START_SECONDS][:SIZE_MB]
+   Protocols: cubic bbr bbr-s copa ledbat ledbat-25 vivace
+              proteus-p proteus-s blaster=RATE_MBPS *)
+
+module Net = Proteus_net
+
+let protocol_factory name : (Net.Sender.factory, string) result =
+  match String.lowercase_ascii name with
+  | "cubic" -> Ok (Proteus_cc.Cubic.factory ())
+  | "bbr" -> Ok (Proteus_cc.Bbr.factory ())
+  | "bbr-s" -> Ok (Proteus_cc.Bbr.scavenger_factory ())
+  | "copa" -> Ok (Proteus_cc.Copa.factory ())
+  | "ledbat" | "ledbat-100" -> Ok (Proteus_cc.Ledbat.factory ())
+  | "ledbat-25" ->
+      Ok (Proteus_cc.Ledbat.factory ~params:Proteus_cc.Ledbat.draft_25ms ())
+  | "vivace" -> Ok (Proteus.Presets.vivace ())
+  | "proteus-p" -> Ok (Proteus.Presets.proteus_p ())
+  | "proteus-s" -> Ok (Proteus.Presets.proteus_s ())
+  | s when String.length s > 8 && String.sub s 0 8 = "blaster=" -> (
+      match float_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some rate -> Ok (Proteus_cc.Blaster.factory ~rate_mbps:rate)
+      | None -> Error (Printf.sprintf "bad blaster rate in %S" s))
+  | _ -> Error (Printf.sprintf "unknown protocol %S" name)
+
+type flow_spec = { proto : string; start : float; size_mb : float option }
+
+let parse_flow_spec s : (flow_spec, string) result =
+  let proto_part, size_mb =
+    match String.index_opt s ':' with
+    | Some i -> (
+        let sz = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt sz with
+        | Some mb ->
+            (String.sub s 0 i, Some mb)
+        | None -> (s, None))
+    | None -> (s, None)
+  in
+  match String.index_opt proto_part '@' with
+  | Some i -> (
+      let name = String.sub proto_part 0 i in
+      let st = String.sub proto_part (i + 1) (String.length proto_part - i - 1) in
+      match float_of_string_opt st with
+      | Some start -> Ok { proto = name; start; size_mb }
+      | None -> Error (Printf.sprintf "bad start time in %S" s))
+  | None -> Ok { proto = proto_part; start = 0.0; size_mb }
+
+let parse_noise = function
+  | "none" -> Ok Net.Noise.None_
+  | "wifi" -> Ok Net.Noise.default_wifi
+  | s when String.length s > 9 && String.sub s 0 9 = "gaussian:" -> (
+      match float_of_string_opt (String.sub s 9 (String.length s - 9)) with
+      | Some sigma_ms -> Ok (Net.Noise.Gaussian { sigma_ms })
+      | None -> Error "bad gaussian sigma")
+  | s -> Error (Printf.sprintf "unknown noise model %S" s)
+
+let run bw rtt buffer_kb loss noise duration seed series specs =
+  match
+    ( List.map parse_flow_spec specs
+      |> List.fold_left
+           (fun acc r ->
+             match (acc, r) with
+             | Error e, _ -> Error e
+             | Ok l, Ok v -> Ok (v :: l)
+             | Ok _, Error e -> Error e)
+           (Ok [])
+      |> Result.map List.rev,
+      parse_noise noise )
+  with
+  | Error e, _ | _, Error e ->
+      prerr_endline ("proteus-sim: " ^ e);
+      exit 2
+  | Ok flows, Ok noise_spec ->
+      if flows = [] then begin
+        prerr_endline "proteus-sim: no flows given (try: proteus-sim cubic)";
+        exit 2
+      end;
+      let cfg =
+        Net.Link.config ~loss_rate:loss ~noise:noise_spec ~bandwidth_mbps:bw
+          ~rtt_ms:rtt
+          ~buffer_bytes:(Net.Units.kb buffer_kb)
+          ()
+      in
+      let runner = Net.Runner.create ~seed cfg in
+      let handles =
+        List.mapi
+          (fun i spec ->
+            match protocol_factory spec.proto with
+            | Error e ->
+                prerr_endline ("proteus-sim: " ^ e);
+                exit 2
+            | Ok factory ->
+                let label = Printf.sprintf "%s#%d" spec.proto i in
+                let size_bytes =
+                  Option.map (fun mb -> int_of_float (mb *. 1e6)) spec.size_mb
+                in
+                ( spec,
+                  Net.Runner.add_flow runner ~start:spec.start ?size_bytes
+                    ~label ~factory ))
+          flows
+      in
+      Net.Runner.run runner ~until:duration;
+      Printf.printf
+        "link: %.0f Mbps, %.0f ms RTT, %.0f KB buffer, loss %.3f%%, noise %s\n\n"
+        bw rtt buffer_kb (100.0 *. loss) noise;
+      Printf.printf "%-16s %10s %10s %9s %9s %10s\n" "flow" "tput Mbps"
+        "p95 ms" "loss %" "pkts" "done";
+      List.iter
+        (fun (spec, flow) ->
+          let st = Net.Runner.stats flow in
+          let t0 = Float.min (spec.start +. (duration /. 4.0)) duration in
+          let tput =
+            if duration > t0 then
+              Net.Flow_stats.throughput_mbps st ~t0 ~t1:duration
+            else 0.0
+          in
+          Printf.printf "%-16s %10.2f %10.1f %9.3f %9d %10s\n"
+            (Net.Runner.label flow) tput
+            (match
+               Net.Flow_stats.rtt_percentile st ~t0 ~t1:duration ~p:95.0
+             with
+            | Some r -> Net.Units.sec_to_ms r
+            | None -> nan)
+            (100.0 *. Net.Flow_stats.loss_fraction st)
+            (Net.Flow_stats.packets_sent st)
+            (match Net.Runner.completion_time flow with
+            | Some t -> Printf.sprintf "t=%.1fs" t
+            | None -> if Net.Runner.is_complete flow then "yes" else "-"))
+        handles;
+      (match series with
+      | Some bin when bin > 0.0 ->
+          Printf.printf "\nthroughput series (Mbps per %.1f s bin):\n" bin;
+          List.iter
+            (fun (_, flow) ->
+              let s =
+                Net.Flow_stats.throughput_series (Net.Runner.stats flow) ~bin
+                  ~until:duration
+              in
+              Printf.printf "%-16s" (Net.Runner.label flow);
+              Array.iter (fun (_, m) -> Printf.printf "%6.1f" m) s;
+              print_newline ())
+            handles
+      | _ -> ())
+
+open Cmdliner
+
+let bw =
+  Arg.(value & opt float 50.0 & info [ "bw" ] ~docv:"MBPS" ~doc:"Bottleneck bandwidth.")
+
+let rtt =
+  Arg.(value & opt float 30.0 & info [ "rtt" ] ~docv:"MS" ~doc:"Base round-trip time.")
+
+let buffer_kb =
+  Arg.(value & opt float 375.0 & info [ "buffer-kb" ] ~docv:"KB" ~doc:"Bottleneck buffer.")
+
+let loss =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Random loss probability.")
+
+let noise =
+  Arg.(
+    value & opt string "none"
+    & info [ "noise" ] ~docv:"MODEL" ~doc:"Latency noise: none, wifi, gaussian:SIGMA_MS.")
+
+let duration =
+  Arg.(value & opt float 60.0 & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let series =
+  Arg.(
+    value & opt (some float) None
+    & info [ "series" ] ~docv:"BIN_S" ~doc:"Also print a binned throughput series.")
+
+let specs =
+  Arg.(value & pos_all string [] & info [] ~docv:"FLOW" ~doc:"Flow specs: PROTO[@START][:SIZE_MB].")
+
+let cmd =
+  let doc = "packet-level congestion-control scenarios (PCC Proteus reproduction)" in
+  Cmd.v
+    (Cmd.info "proteus-sim" ~doc)
+    Term.(const run $ bw $ rtt $ buffer_kb $ loss $ noise $ duration $ seed $ series $ specs)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/mode_switch.ml: Controller Option Presets Printf Proteus Proteus_eventsim Proteus_net Utility

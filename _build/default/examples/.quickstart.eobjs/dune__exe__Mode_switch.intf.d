@@ -1,0 +1,1 @@
+examples/mode_switch.mli:

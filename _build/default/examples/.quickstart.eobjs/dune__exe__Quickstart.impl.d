@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Proteus Proteus_cc Proteus_net

@@ -1,0 +1,1 @@
+examples/scavenger_backup.ml: Printf Proteus Proteus_cc Proteus_net Proteus_video

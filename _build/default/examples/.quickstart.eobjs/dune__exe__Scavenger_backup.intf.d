@@ -1,0 +1,1 @@
+examples/scavenger_backup.mli:

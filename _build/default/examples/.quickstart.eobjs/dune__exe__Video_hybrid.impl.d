@@ -1,0 +1,1 @@
+examples/video_hybrid.ml: List Printf Proteus Proteus_net Proteus_video

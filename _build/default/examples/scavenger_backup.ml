@@ -1,0 +1,62 @@
+(* The paper's motivating scenario (§1): Alice streams a DASH video
+   while Bob's cloud backup runs in the background on the same home
+   link. We compare Bob's transport choices — CUBIC ("fair" sharing),
+   LEDBAT, and Proteus-S — by Alice's video quality and by how much of
+   the backup still gets through.
+
+   Run with:  dune exec examples/scavenger_backup.exe *)
+
+module Net = Proteus_net
+module Video = Proteus_video
+
+let horizon = 150.0
+let backup_bytes = 400_000_000 (* 400 MB Dropbox-style sync *)
+
+let scenario label factory =
+  let link =
+    Net.Link.config ~bandwidth_mbps:16.0 ~rtt_ms:30.0
+      ~buffer_bytes:(Net.Units.kb 120.0) ()
+  in
+  let runner = Net.Runner.create link in
+  (* Alice: a 1080p adaptive stream over the default TCP stack. *)
+  let video =
+    Video.Video.make_1080p ~seed:5 ~name:"alice-1080p" ()
+  in
+  let session =
+    Video.Session.start runner ~video
+      ~transport:(Video.Session.Plain (Proteus_cc.Cubic.factory ()))
+  in
+  (* Bob: the backup, started mid-stream. *)
+  let backup =
+    match factory with
+    | None -> None
+    | Some f ->
+        Some
+          (Net.Runner.add_flow runner ~start:15.0 ~label:"backup" ~factory:f
+             ~size_bytes:backup_bytes)
+  in
+  Net.Runner.run runner ~until:horizon;
+  let rep = Video.Session.report session ~now:horizon in
+  let backup_mb =
+    match backup with
+    | Some fl -> Net.Flow_stats.bytes_acked (Net.Runner.stats fl) /. 1e6
+    | None -> 0.0
+  in
+  Printf.printf
+    "%-22s video bitrate %5.2f Mbps   rebuffer %5.2f%%   backup moved %5.0f MB\n"
+    label rep.Video.Session.avg_chunk_bitrate_mbps
+    (100.0 *. rep.Video.Session.rebuffer_ratio)
+    backup_mb
+
+let () =
+  Printf.printf
+    "Alice's 1080p video (top rung ~10 Mbps) vs Bob's 400 MB backup on a\n\
+     16 Mbps link — a \"fair\" transport would give the backup half:\n\n";
+  scenario "no backup" None;
+  scenario "backup over CUBIC" (Some (Proteus_cc.Cubic.factory ()));
+  scenario "backup over LEDBAT" (Some (Proteus_cc.Ledbat.factory ()));
+  scenario "backup over Proteus-S" (Some (Proteus.Presets.proteus_s ()));
+  print_endline
+    "\nProteus-S leaves Alice's stream essentially untouched while still\n\
+     moving the backup through idle capacity — Bob never notices the\n\
+     difference, Alice certainly does."

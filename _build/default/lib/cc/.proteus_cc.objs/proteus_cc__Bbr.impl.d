@@ -1,0 +1,1 @@
+lib/cc/bbr.ml: Array Float Hashtbl Proteus_net Proteus_stats

@@ -1,0 +1,1 @@
+lib/cc/bbr.mli: Proteus_net

@@ -1,0 +1,1 @@
+lib/cc/blaster.ml: Float Proteus_net

@@ -1,0 +1,1 @@
+lib/cc/blaster.mli: Proteus_net

@@ -1,0 +1,1 @@
+lib/cc/copa.ml: Float Proteus_net Proteus_stats

@@ -1,0 +1,1 @@
+lib/cc/copa.mli: Proteus_net

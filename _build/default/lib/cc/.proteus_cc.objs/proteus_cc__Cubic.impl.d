@@ -1,0 +1,1 @@
+lib/cc/cubic.ml: Float Proteus_net

@@ -1,0 +1,1 @@
+lib/cc/ledbat.ml: Float List Printf Proteus_net

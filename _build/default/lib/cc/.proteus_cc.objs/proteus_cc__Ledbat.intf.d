@@ -1,0 +1,1 @@
+lib/cc/ledbat.mli: Proteus_net

@@ -1,0 +1,1 @@
+lib/cc/reno.ml: Float Proteus_net

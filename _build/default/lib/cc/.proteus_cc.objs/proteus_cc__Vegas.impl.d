@@ -1,0 +1,1 @@
+lib/cc/vegas.ml: Float Proteus_net

@@ -1,0 +1,1 @@
+lib/cc/vegas.mli: Proteus_net

@@ -1,0 +1,32 @@
+module Sender = Proteus_net.Sender
+
+type t = {
+  rate : float; (* bytes/sec *)
+  mutable next_send_time : float;
+}
+
+let create ~rate_mbps (_env : Sender.env) =
+  { rate = Proteus_net.Units.mbps_to_bytes_per_sec rate_mbps; next_send_time = 0.0 }
+
+let name _ = "blaster"
+
+let next_send t ~now = if now >= t.next_send_time then `Now else `At t.next_send_time
+
+let on_sent t ~now ~seq:_ ~size =
+  t.next_send_time <-
+    Float.max now t.next_send_time +. (float_of_int size /. t.rate)
+
+let on_ack _ ~now:_ ~seq:_ ~send_time:_ ~size:_ ~rtt:_ = ()
+let on_loss _ ~now:_ ~seq:_ ~send_time:_ ~size:_ = ()
+
+let factory ~rate_mbps : Proteus_net.Sender.factory =
+ fun env ->
+  Sender.pack (module struct
+    type nonrec t = t
+
+    let name = name
+    let next_send = next_send
+    let on_sent = on_sent
+    let on_ack = on_ack
+    let on_loss = on_loss
+  end) (create ~rate_mbps env)

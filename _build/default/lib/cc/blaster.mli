@@ -1,0 +1,10 @@
+(** Fixed-rate UDP-style sender with no congestion response. Used as
+    the measurement probe of Fig. 2 (a 20 Mbps constant-rate flow whose
+    observed RTTs are analyzed for deviation vs gradient). *)
+
+type t
+
+val create : rate_mbps:float -> Proteus_net.Sender.env -> t
+val factory : rate_mbps:float -> Proteus_net.Sender.factory
+
+include Proteus_net.Sender.S with type t := t

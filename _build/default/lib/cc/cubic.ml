@@ -1,0 +1,98 @@
+module Sender = Proteus_net.Sender
+
+let beta = 0.7
+let c = 0.4
+let initial_cwnd = 10.0
+let min_cwnd = 2.0
+
+type t = {
+  mtu : int;
+  mutable cwnd : float; (* packets *)
+  mutable ssthresh : float;
+  mutable inflight : int; (* packets *)
+  mutable w_max : float;
+  mutable epoch_start : float option;
+  mutable k : float;
+  mutable srtt : float;
+  mutable last_reduction : float;
+}
+
+let create (env : Sender.env) =
+  {
+    mtu = env.mtu;
+    cwnd = initial_cwnd;
+    ssthresh = infinity;
+    inflight = 0;
+    w_max = 0.0;
+    epoch_start = None;
+    k = 0.0;
+    srtt = 0.1;
+    last_reduction = neg_infinity;
+  }
+
+let name _ = "cubic"
+let cwnd_packets t = t.cwnd
+
+let next_send t ~now:_ =
+  if float_of_int t.inflight < t.cwnd then `Now else `Blocked
+
+let on_sent t ~now:_ ~seq:_ ~size:_ = t.inflight <- t.inflight + 1
+
+let update_srtt t rtt =
+  t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt)
+
+(* W_cubic(t) = C (t - K)^3 + W_max, with the TCP-friendly lower bound. *)
+let cubic_target t ~elapsed =
+  let w_cubic = (c *. ((elapsed -. t.k) ** 3.0)) +. t.w_max in
+  let w_est =
+    (t.w_max *. beta)
+    +. (3.0 *. (1.0 -. beta) /. (1.0 +. beta) *. (elapsed /. t.srtt))
+  in
+  Float.max w_cubic w_est
+
+let on_ack t ~now ~seq:_ ~send_time:_ ~size:_ ~rtt =
+  t.inflight <- max 0 (t.inflight - 1);
+  update_srtt t rtt;
+  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
+  else begin
+    let epoch =
+      match t.epoch_start with
+      | Some e -> e
+      | None ->
+          t.epoch_start <- Some now;
+          if t.w_max <= t.cwnd then begin
+            t.w_max <- t.cwnd;
+            t.k <- 0.0
+          end
+          else t.k <- Float.cbrt (t.w_max *. (1.0 -. beta) /. c);
+          now
+    in
+    let target = cubic_target t ~elapsed:(now -. epoch +. t.srtt) in
+    if target > t.cwnd then t.cwnd <- t.cwnd +. ((target -. t.cwnd) /. t.cwnd)
+    else t.cwnd <- t.cwnd +. (0.01 /. t.cwnd)
+  end
+
+let on_loss t ~now ~seq:_ ~send_time:_ ~size:_ =
+  t.inflight <- max 0 (t.inflight - 1);
+  (* One multiplicative decrease per RTT: later losses of the same
+     window event are absorbed. *)
+  if now -. t.last_reduction > t.srtt then begin
+    t.last_reduction <- now;
+    (* Fast convergence: release bandwidth faster when W_max shrinks. *)
+    if t.cwnd < t.w_max then t.w_max <- t.cwnd *. (2.0 -. beta) /. 2.0
+    else t.w_max <- t.cwnd;
+    t.cwnd <- Float.max min_cwnd (t.cwnd *. beta);
+    t.ssthresh <- Float.max min_cwnd t.cwnd;
+    t.epoch_start <- None
+  end
+
+let factory () : Proteus_net.Sender.factory =
+ fun env -> Sender.pack (module struct
+   type nonrec t = t
+
+   let name = name
+   let next_send = next_send
+   let on_sent = on_sent
+   let on_ack = on_ack
+   let on_loss = on_loss
+ end) (create env)

@@ -1,0 +1,15 @@
+(** TCP CUBIC (RFC 8312): loss-based, cubic window growth with fast
+    convergence and a TCP-friendly region. Window-limited transmission
+    (ack-clocked); reacts to at most one loss event per RTT. *)
+
+type t
+
+val create : Proteus_net.Sender.env -> t
+
+val factory : unit -> Proteus_net.Sender.factory
+(** One fresh CUBIC instance per flow. *)
+
+include Proteus_net.Sender.S with type t := t
+
+val cwnd_packets : t -> float
+(** Current congestion window, for tests. *)

@@ -1,0 +1,32 @@
+(** LEDBAT (RFC 6817), the scavenger baseline the paper evaluates
+    against.
+
+    Delay-based: keeps queueing delay near a fixed target above the
+    observed base delay (100 ms in the RFC and in libutp's default,
+    25 ms in the first IETF draft — Appendix B of the paper evaluates
+    both). Window grows/shrinks proportionally to the off-target
+    fraction, halves on loss. The latecomer advantage emerges from the
+    base-delay estimate: a flow joining a standing queue mistakes the
+    inflated delay for the base. *)
+
+type params = {
+  target_ms : float;  (** Extra queueing-delay target. *)
+  gain : float;  (** Ramp gain (RFC default 1.0). *)
+}
+
+val default : params
+(** 100 ms target, gain 1. *)
+
+val draft_25ms : params
+(** The 25 ms first-draft target (paper Appendix B). *)
+
+type t
+
+val create : ?params:params -> Proteus_net.Sender.env -> t
+val factory : ?params:params -> unit -> Proteus_net.Sender.factory
+
+include Proteus_net.Sender.S with type t := t
+
+val cwnd_packets : t -> float
+val base_delay : t -> float
+(** Current base-delay estimate (seconds), for tests. *)

@@ -1,0 +1,54 @@
+module Sender = Proteus_net.Sender
+
+let min_cwnd = 2.0
+
+type t = {
+  mutable cwnd : float; (* packets *)
+  mutable ssthresh : float;
+  mutable inflight : int;
+  mutable srtt : float;
+  mutable last_reduction : float;
+}
+
+let create (_env : Sender.env) =
+  {
+    cwnd = 10.0;
+    ssthresh = infinity;
+    inflight = 0;
+    srtt = 0.1;
+    last_reduction = neg_infinity;
+  }
+
+let name _ = "reno"
+let cwnd_packets t = t.cwnd
+
+let next_send t ~now:_ =
+  if float_of_int t.inflight < t.cwnd then `Now else `Blocked
+
+let on_sent t ~now:_ ~seq:_ ~size:_ = t.inflight <- t.inflight + 1
+
+let on_ack t ~now:_ ~seq:_ ~send_time:_ ~size:_ ~rtt =
+  t.inflight <- max 0 (t.inflight - 1);
+  t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt);
+  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
+  else t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+
+let on_loss t ~now ~seq:_ ~send_time:_ ~size:_ =
+  t.inflight <- max 0 (t.inflight - 1);
+  if now -. t.last_reduction > t.srtt then begin
+    t.last_reduction <- now;
+    t.cwnd <- Float.max min_cwnd (t.cwnd /. 2.0);
+    t.ssthresh <- t.cwnd
+  end
+
+let factory () : Proteus_net.Sender.factory =
+ fun env ->
+  Sender.pack (module struct
+    type nonrec t = t
+
+    let name = name
+    let next_send = next_send
+    let on_sent = on_sent
+    let on_ack = on_ack
+    let on_loss = on_loss
+  end) (create env)

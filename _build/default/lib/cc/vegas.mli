@@ -1,0 +1,18 @@
+(** TCP Vegas (Brakmo et al. 1994), the classic delay-based controller
+    the paper cites as ancestry for latency-aware designs. Keeps the
+    number of self-queued packets — [diff = cwnd * (1 - baseRTT/RTT)] —
+    between [alpha] and [beta] packets. *)
+
+type params = { alpha : float; beta : float }
+
+val default : params
+(** [alpha = 2], [beta = 4] packets. *)
+
+type t
+
+val create : ?params:params -> Proteus_net.Sender.env -> t
+val factory : ?params:params -> unit -> Proteus_net.Sender.factory
+
+include Proteus_net.Sender.S with type t := t
+
+val cwnd_packets : t -> float

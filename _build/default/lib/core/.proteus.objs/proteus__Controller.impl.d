@@ -1,0 +1,1 @@
+lib/core/controller.ml: Ack_filter Float Hashtbl List Mi Proteus_net Proteus_stats Queue Tolerance Utility

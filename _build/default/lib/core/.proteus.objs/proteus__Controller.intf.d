@@ -1,0 +1,1 @@
+lib/core/controller.mli: Mi Proteus_net Tolerance Utility

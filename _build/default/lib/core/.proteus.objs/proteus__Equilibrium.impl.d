@@ -1,0 +1,1 @@
+lib/core/equilibrium.ml: Float

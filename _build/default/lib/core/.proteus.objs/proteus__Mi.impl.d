@@ -1,0 +1,1 @@
+lib/core/mi.ml: Float Proteus_net Proteus_stats

@@ -1,0 +1,1 @@
+lib/core/presets.ml: Controller Proteus_net Tolerance Utility

@@ -1,0 +1,1 @@
+lib/core/tolerance.ml: Array Float List Mi Proteus_stats

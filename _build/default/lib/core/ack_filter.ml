@@ -1,0 +1,65 @@
+module Ewma = Proteus_stats.Ewma
+
+(* Upper bound on how long the discard state may last. The paper's rule
+   ("ignore samples until one falls below the moving RTT average") can
+   latch permanently: the average only updates on accepted samples, so
+   if the RTT is legitimately elevated — e.g. a competitor arrived
+   right when the filter tripped — no sample ever dips below the frozen
+   average and the sender goes blind to the competition signal. A
+   bounded discard keeps the mechanism's purpose (skip one ACK
+   compression burst) without that failure mode. *)
+let max_filter_duration = 0.1
+
+type t = {
+  ratio_threshold : float;
+  rtt_avg : Ewma.t;
+  mutable last_ack_time : float option;
+  mutable last_interval : float option;
+  mutable filtering : bool;
+  mutable filter_started : float;
+}
+
+let create ?(ratio_threshold = 50.0) () =
+  {
+    ratio_threshold;
+    rtt_avg = Ewma.create ~alpha:0.125;
+    last_ack_time = None;
+    last_interval = None;
+    filtering = false;
+    filter_started = 0.0;
+  }
+
+let is_filtering t = t.filtering
+
+let interval_ratio a b =
+  if a <= 0.0 || b <= 0.0 then 1.0 else Float.max (a /. b) (b /. a)
+
+let filter t ~now ~rtt =
+  let interval =
+    match t.last_ack_time with Some prev -> Some (now -. prev) | None -> None
+  in
+  (match (interval, t.last_interval) with
+  | Some cur, Some prev when interval_ratio cur prev > t.ratio_threshold ->
+      if not t.filtering then begin
+        t.filtering <- true;
+        t.filter_started <- now
+      end
+  | _ -> ());
+  t.last_interval <- interval;
+  t.last_ack_time <- Some now;
+  if t.filtering then begin
+    let below_avg =
+      match Ewma.value t.rtt_avg with Some avg -> rtt < avg | None -> true
+    in
+    if below_avg || now -. t.filter_started > max_filter_duration then begin
+      (* Channel back to normal (or bound exceeded): resume. *)
+      t.filtering <- false;
+      Ewma.update t.rtt_avg rtt;
+      Some rtt
+    end
+    else None
+  end
+  else begin
+    Ewma.update t.rtt_avg rtt;
+    Some rtt
+  end

@@ -1,0 +1,448 @@
+module Sender = Proteus_net.Sender
+module Units = Proteus_net.Units
+module Rng = Proteus_stats.Rng
+
+type probing_mode = Consistent2 | Majority3
+
+type config = {
+  utility : Utility.t;
+  tolerance : Tolerance.config;
+  use_ack_filter : bool;
+  probing_mode : probing_mode;
+  epsilon : float;
+  initial_rate_mbps : float;
+  min_rate_mbps : float;
+  max_rate_mbps : float;
+  max_swing_up : float;
+  yield_hold : float;
+}
+
+let default_config ~utility =
+  {
+    utility;
+    tolerance = Tolerance.proteus_default;
+    use_ack_filter = true;
+    probing_mode = Majority3;
+    epsilon = 0.05;
+    initial_rate_mbps = 2.0;
+    min_rate_mbps = 0.05;
+    max_rate_mbps = 2000.0;
+    max_swing_up = 0.5;
+    yield_hold = 0.0;
+  }
+
+let vivace_config ~utility =
+  {
+    utility;
+    tolerance = Tolerance.vivace_default;
+    use_ack_filter = false;
+    probing_mode = Consistent2;
+    epsilon = 0.05;
+    initial_rate_mbps = 2.0;
+    min_rate_mbps = 0.05;
+    max_rate_mbps = 2000.0;
+    max_swing_up = 0.5;
+    yield_hold = 0.0;
+  }
+
+(* What a monitor interval was trialling. The [epoch] stamps results so
+   that MIs planned by an abandoned phase instance cannot corrupt the
+   decisions of a later one. *)
+type tag =
+  | Start
+  | Probe of { epoch : int; pair : int; up : bool }
+  | Move of { epoch : int }
+  | Filler
+
+type probing_state = {
+  epoch : int;
+  base_rate : float; (* bytes/s *)
+  npairs : int;
+  mutable probe_results : (int * bool * float) list; (* pair, up, utility *)
+}
+
+type phase =
+  | Starting
+  | Probing of probing_state
+  | Moving of {
+      epoch : int;
+      dir : float;
+      mutable k : int;
+      mutable gradient : float; (* utility per Mbps *)
+      mutable prev_rate : float; (* bytes/s *)
+      mutable prev_utility : float;
+    }
+
+type t = {
+  mutable utility : Utility.t;
+  config : config;
+  tolerance : Tolerance.t;
+  ack_filter : Ack_filter.t option;
+  rng : Rng.t;
+  mtu : int;
+  mutable rate : float; (* base rate, bytes/s *)
+  mutable phase : phase;
+  mutable epoch_counter : int;
+  mutable last_start_sample : (float * float) option; (* rate, utility *)
+  planned : (float * tag) Queue.t;
+  mutable current_mi : (Mi.t * tag) option;
+  mutable current_deadline : float;
+  mutable pacing_rate : float;
+  mi_of_seq : (int, Mi.t * tag) Hashtbl.t;
+  pending_results : (int, tag * Mi.metrics) Hashtbl.t;
+  mutable next_mi_id : int;
+  mutable next_result_id : int;
+  mutable completed_mis : int;
+  mutable srtt : float;
+  mutable next_send_time : float;
+  mutable now_cache : float;
+  mutable hold_until : float;
+  mutable observer :
+    (now:float -> Mi.metrics -> utility:float -> rate_mbps:float -> unit)
+    option;
+}
+
+let min_rate t = Units.mbps_to_bytes_per_sec t.config.min_rate_mbps
+let max_rate t = Units.mbps_to_bytes_per_sec t.config.max_rate_mbps
+let clamp_rate t r = Float.min (max_rate t) (Float.max (min_rate t) r)
+
+let create (config : config) (env : Sender.env) =
+  {
+    utility = config.utility;
+    config;
+    tolerance = Tolerance.create config.tolerance;
+    ack_filter =
+      (if config.use_ack_filter then Some (Ack_filter.create ()) else None);
+    rng = env.rng;
+    mtu = env.mtu;
+    rate = Units.mbps_to_bytes_per_sec config.initial_rate_mbps;
+    phase = Starting;
+    epoch_counter = 0;
+    last_start_sample = None;
+    planned = Queue.create ();
+    current_mi = None;
+    current_deadline = 0.0;
+    pacing_rate = Units.mbps_to_bytes_per_sec config.initial_rate_mbps;
+    mi_of_seq = Hashtbl.create 256;
+    pending_results = Hashtbl.create 16;
+    next_mi_id = 0;
+    next_result_id = 0;
+    completed_mis = 0;
+    srtt = 0.05;
+    next_send_time = 0.0;
+    now_cache = 0.0;
+    hold_until = neg_infinity;
+    observer = None;
+  }
+
+let name t = "proteus:" ^ Utility.name t.utility
+
+(* Switching objectives restarts the ramp: the new utility may deem a
+   radically different rate optimal (scavenger -> primary can be three
+   orders of magnitude), and the doubling phase reaches it in O(log)
+   MIs where epsilon-probing would take minutes. Results from MIs
+   planned under the old objective are ignored (phase/tag mismatch). *)
+let set_utility t u =
+  t.utility <- u;
+  Queue.clear t.planned;
+  t.phase <- Starting;
+  t.last_start_sample <- None
+let utility_name t = Utility.name t.utility
+let rate_mbps t = Units.bytes_per_sec_to_mbps t.rate
+let mi_count t = t.completed_mis
+let set_mi_observer t f = t.observer <- f
+
+(* ---------- planning ---------- *)
+
+let plan_probing t =
+  Queue.clear t.planned;
+  t.epoch_counter <- t.epoch_counter + 1;
+  let epoch = t.epoch_counter in
+  let npairs =
+    match t.config.probing_mode with Consistent2 -> 2 | Majority3 -> 3
+  in
+  let eps = t.config.epsilon in
+  for pair = 0 to npairs - 1 do
+    let hi = (t.rate *. (1.0 +. eps), Probe { epoch; pair; up = true }) in
+    let lo = (t.rate *. (1.0 -. eps), Probe { epoch; pair; up = false }) in
+    let first, second = if Rng.bool t.rng then (hi, lo) else (lo, hi) in
+    Queue.add first t.planned;
+    Queue.add second t.planned
+  done;
+  t.phase <- Probing { epoch; base_rate = t.rate; npairs; probe_results = [] }
+
+let enter_probing t ~at_rate =
+  t.rate <- clamp_rate t at_rate;
+  t.last_start_sample <- None;
+  plan_probing t
+
+let plan_move t mv_epoch ~rate =
+  Queue.clear t.planned;
+  Queue.add (rate, Move { epoch = mv_epoch }) t.planned
+
+(* Step size: gradient ascent with a confidence amplifier and a swing
+   boundary proportional to the current rate (Vivace-style). Upward
+   moves are additionally capped by [max_swing_up]: scavengers recover
+   conservatively after yielding, so that bursty foreground traffic
+   (web object waves, video chunks) is not re-taxed at every burst. *)
+let step_bytes t ~k ~dir ~gradient =
+  let rate_mbps = Units.bytes_per_sec_to_mbps t.rate in
+  let amplifier = Float.min (2.0 ** float_of_int (k - 1)) 32.0 in
+  let raw = amplifier *. Float.abs gradient (* Mbps *) in
+  let cap = if dir > 0.0 then t.config.max_swing_up else 0.5 in
+  let boundary =
+    Float.min ((0.05 +. (0.1 *. float_of_int (k - 1))) *. rate_mbps)
+      (cap *. rate_mbps)
+  in
+  let floor_step = 0.01 *. rate_mbps in
+  Units.mbps_to_bytes_per_sec (Float.min boundary (Float.max floor_step raw))
+
+(* ---------- state machine on completed MI results ---------- *)
+
+let handle_start_result t ~rate_trialled ~u =
+  match t.last_start_sample with
+  | Some (prev_rate, prev_u) when rate_trialled > prev_rate && u < prev_u ->
+      (* The doubled rate lowered utility: revert and probe. *)
+      enter_probing t ~at_rate:prev_rate
+  | Some (prev_rate, prev_u) ->
+      if rate_trialled > prev_rate || u > prev_u then
+        t.last_start_sample <- Some (rate_trialled, u);
+      if t.rate <= rate_trialled *. 2.0 then
+        t.rate <- clamp_rate t (rate_trialled *. 2.0)
+  | None ->
+      t.last_start_sample <- Some (rate_trialled, u);
+      t.rate <- clamp_rate t (rate_trialled *. 2.0)
+
+let direction_of_pair results pair =
+  let find up = List.find_opt (fun (p, u_, _) -> p = pair && u_ = up) results in
+  match (find true, find false) with
+  | Some (_, _, u_hi), Some (_, _, u_lo) ->
+      if u_hi > u_lo then Some 1 else if u_lo > u_hi then Some (-1) else Some 0
+  | _ -> None
+
+let avg_gradient t results npairs ~base_rate =
+  let dr = 2.0 *. t.config.epsilon *. Units.bytes_per_sec_to_mbps base_rate in
+  let sum = ref 0.0 and n = ref 0 in
+  for pair = 0 to npairs - 1 do
+    let find up = List.find_opt (fun (p, u_, _) -> p = pair && u_ = up) results in
+    match (find true, find false) with
+    | Some (_, _, u_hi), Some (_, _, u_lo) when dr > 0.0 ->
+        sum := !sum +. ((u_hi -. u_lo) /. dr);
+        incr n
+    | _ -> ()
+  done;
+  if !n = 0 then 0.0 else !sum /. float_of_int !n
+
+let decide_direction t (ps : probing_state) =
+  let dirs =
+    List.filter_map (direction_of_pair ps.probe_results)
+      (List.init ps.npairs (fun i -> i))
+  in
+  if List.length dirs < ps.npairs then None
+  else
+    match t.config.probing_mode with
+    | Consistent2 -> (
+        match dirs with [ a; b ] when a = b && a <> 0 -> Some a | _ -> Some 0)
+    | Majority3 ->
+        let count d = List.length (List.filter (fun x -> x = d) dirs) in
+        if count 1 >= 2 then Some 1
+        else if count (-1) >= 2 then Some (-1)
+        else Some 0
+
+let handle_probe_result t (ps : probing_state) ~pair ~up ~u =
+  ps.probe_results <- (pair, up, u) :: ps.probe_results;
+  match decide_direction t ps with
+  | None -> ()
+  | Some 0 ->
+      t.rate <- clamp_rate t ps.base_rate;
+      plan_probing t
+  | Some 1 when t.now_cache < t.hold_until ->
+      (* Recently yielded to a deviation signal: hold the rate down for
+         a while instead of immediately re-probing upward, so bursty
+         foreground traffic (web object waves, video chunks) is not
+         re-taxed at every burst. *)
+      t.rate <- clamp_rate t ps.base_rate;
+      plan_probing t
+  | Some dir_int ->
+      let dir = float_of_int dir_int in
+      let gradient =
+        avg_gradient t ps.probe_results ps.npairs ~base_rate:ps.base_rate
+      in
+      let prev_rate = ps.base_rate *. (1.0 +. (dir *. t.config.epsilon)) in
+      let prev_utility =
+        let us =
+          List.filter_map
+            (fun (_, u_, util) ->
+              if u_ = (dir_int = 1) then Some util else None)
+            ps.probe_results
+        in
+        List.fold_left ( +. ) 0.0 us /. float_of_int (List.length us)
+      in
+      if dir_int < 0 then
+        t.hold_until <- t.now_cache +. t.config.yield_hold;
+      t.epoch_counter <- t.epoch_counter + 1;
+      let epoch = t.epoch_counter in
+      let step = step_bytes t ~k:1 ~dir ~gradient in
+      let new_rate = clamp_rate t (prev_rate +. (dir *. step)) in
+      t.rate <- new_rate;
+      plan_move t epoch ~rate:new_rate;
+      t.phase <- Moving { epoch; dir; k = 1; gradient; prev_rate; prev_utility }
+
+let handle_move_result t ~rate_trialled ~u =
+  match t.phase with
+  | Moving mv ->
+      if u >= mv.prev_utility then begin
+        let dr =
+          Units.bytes_per_sec_to_mbps rate_trialled
+          -. Units.bytes_per_sec_to_mbps mv.prev_rate
+        in
+        if Float.abs dr > 1e-9 then mv.gradient <- (u -. mv.prev_utility) /. dr;
+        mv.k <- mv.k + 1;
+        mv.prev_rate <- rate_trialled;
+        mv.prev_utility <- u;
+        let step = step_bytes t ~k:mv.k ~dir:mv.dir ~gradient:mv.gradient in
+        let new_rate = clamp_rate t (rate_trialled +. (mv.dir *. step)) in
+        if new_rate = rate_trialled then enter_probing t ~at_rate:rate_trialled
+        else begin
+          t.rate <- new_rate;
+          plan_move t mv.epoch ~rate:new_rate
+        end
+      end
+      else enter_probing t ~at_rate:mv.prev_rate
+  | _ -> ()
+
+let handle_result t tag (m : Mi.metrics) =
+  t.completed_mis <- t.completed_mis + 1;
+  let u = Utility.eval t.utility m in
+  (match t.observer with
+  | Some f ->
+      f ~now:t.now_cache m ~utility:u
+        ~rate_mbps:(Units.bytes_per_sec_to_mbps t.rate)
+  | None -> ());
+  let rate_trialled = Units.mbps_to_bytes_per_sec m.Mi.target_rate_mbps in
+  match (t.phase, tag) with
+  | Starting, Start -> handle_start_result t ~rate_trialled ~u
+  | Probing ps, Probe { epoch; pair; up } when epoch = ps.epoch ->
+      handle_probe_result t ps ~pair ~up ~u
+  | Moving mv, Move { epoch } when epoch = mv.epoch ->
+      handle_move_result t ~rate_trialled ~u
+  | _, (Start | Probe _ | Move _ | Filler) -> ()
+
+let process_pending t =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.pending_results t.next_result_id with
+    | Some (tag, m) ->
+        Hashtbl.remove t.pending_results t.next_result_id;
+        t.next_result_id <- t.next_result_id + 1;
+        handle_result t tag m
+    | None -> continue := false
+  done
+
+let complete_mi t mi tag =
+  let m = Tolerance.adjust t.tolerance (Mi.metrics mi) in
+  Hashtbl.replace t.pending_results (Mi.id mi) (tag, m);
+  process_pending t
+
+let check_complete t mi tag = if Mi.is_complete mi then complete_mi t mi tag
+
+(* ---------- MI lifecycle on the send path ---------- *)
+
+let mi_duration t ~rate =
+  let jitter = 1.0 +. (0.1 *. Rng.float t.rng 1.0) in
+  let min_pkts = 5.0 in
+  Float.max (t.srtt *. jitter) (min_pkts *. float_of_int t.mtu /. rate)
+
+let close_current t ~now =
+  match t.current_mi with
+  | Some (mi, tag) ->
+      Mi.close mi ~end_time:now;
+      t.current_mi <- None;
+      if Mi.packets_sent mi = 0 then begin
+        (* Nothing was sent in this MI: drop it from the result order. *)
+        if Mi.id mi = t.next_result_id then begin
+          t.next_result_id <- t.next_result_id + 1;
+          process_pending t
+        end
+        else Hashtbl.replace t.pending_results (Mi.id mi) (Filler, Mi.metrics mi)
+      end
+      else check_complete t mi tag
+  | None -> ()
+
+let start_new_mi t ~now =
+  let rate, tag =
+    if Queue.is_empty t.planned then
+      (t.rate, match t.phase with Starting -> Start | _ -> Filler)
+    else Queue.pop t.planned
+  in
+  let rate = clamp_rate t rate in
+  let mi = Mi.create ~id:t.next_mi_id ~target_rate:rate ~start_time:now in
+  t.next_mi_id <- t.next_mi_id + 1;
+  t.current_mi <- Some (mi, tag);
+  t.current_deadline <- now +. mi_duration t ~rate;
+  t.pacing_rate <- rate
+
+let ensure_current_mi t ~now =
+  (match t.current_mi with
+  | Some _ when now < t.current_deadline -> ()
+  | Some _ ->
+      close_current t ~now;
+      start_new_mi t ~now
+  | None -> start_new_mi t ~now);
+  match t.current_mi with Some (mi, tag) -> (mi, tag) | None -> assert false
+
+let close_if_expired t ~now =
+  match t.current_mi with
+  | Some _ when now >= t.current_deadline -> close_current t ~now
+  | _ -> ()
+
+(* ---------- Sender.S ---------- *)
+
+let next_send t ~now =
+  ignore (ensure_current_mi t ~now);
+  if now >= t.next_send_time then `Now else `At t.next_send_time
+
+let on_sent t ~now ~seq ~size =
+  let mi, tag = ensure_current_mi t ~now in
+  Mi.record_sent mi ~size;
+  Hashtbl.replace t.mi_of_seq seq (mi, tag);
+  t.next_send_time <-
+    Float.max now t.next_send_time +. (float_of_int size /. t.pacing_rate)
+
+let on_ack t ~now ~seq ~send_time ~size:_ ~rtt =
+  t.now_cache <- now;
+  t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt);
+  let sample =
+    match t.ack_filter with
+    | Some f -> Ack_filter.filter f ~now ~rtt
+    | None -> Some rtt
+  in
+  close_if_expired t ~now;
+  (match Hashtbl.find_opt t.mi_of_seq seq with
+  | Some (mi, tag) ->
+      Hashtbl.remove t.mi_of_seq seq;
+      Mi.record_ack mi ~send_time ~rtt:sample;
+      check_complete t mi tag
+  | None -> ())
+
+let on_loss t ~now ~seq ~send_time:_ ~size:_ =
+  t.now_cache <- now;
+  close_if_expired t ~now;
+  match Hashtbl.find_opt t.mi_of_seq seq with
+  | Some (mi, tag) ->
+      Hashtbl.remove t.mi_of_seq seq;
+      Mi.record_loss mi;
+      check_complete t mi tag
+  | None -> ()
+
+let factory config : Proteus_net.Sender.factory =
+ fun env ->
+  Sender.pack (module struct
+    type nonrec t = t
+
+    let name = name
+    let next_send = next_send
+    let on_sent = on_sent
+    let on_ack = on_ack
+    let on_loss = on_loss
+  end) (create config env)

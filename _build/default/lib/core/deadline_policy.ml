@@ -1,0 +1,40 @@
+type t = {
+  safety : float;
+  total_bytes : float;
+  deadline : float;
+  threshold_mbps : float ref;
+  mutable acked : float;
+}
+
+let required_rate_mbps t ~now =
+  let remaining = Float.max 0.0 (t.total_bytes -. t.acked) in
+  if remaining = 0.0 then 0.0
+  else begin
+    let time_left = t.deadline -. now in
+    if time_left <= 0.0 then infinity
+    else Proteus_net.Units.bytes_per_sec_to_mbps (remaining /. time_left)
+  end
+
+let update t ~now =
+  t.threshold_mbps := t.safety *. required_rate_mbps t ~now
+
+let create ?(safety = 1.2) ~total_bytes ~deadline ~threshold_mbps () =
+  if total_bytes <= 0 then invalid_arg "Deadline_policy.create: total_bytes";
+  if deadline <= 0.0 then invalid_arg "Deadline_policy.create: deadline";
+  let t =
+    {
+      safety;
+      total_bytes = float_of_int total_bytes;
+      deadline;
+      threshold_mbps;
+      acked = 0.0;
+    }
+  in
+  update t ~now:0.0;
+  t
+
+let on_bytes t ~now n =
+  t.acked <- t.acked +. float_of_int n;
+  update t ~now
+
+let bytes_remaining t = Float.max 0.0 (t.total_bytes -. t.acked)

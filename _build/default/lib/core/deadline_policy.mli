@@ -1,0 +1,38 @@
+(** Deadline-driven threshold policy for Proteus-H.
+
+    §2.3 motivates flows that are elastic {e until} a deadline looms: "a
+    software update has a deadline requirement, it may want to yield
+    dynamically, only after reaching a certain throughput". This policy
+    sets the hybrid utility's switching threshold to the rate needed to
+    finish the remaining bytes by the deadline (times a safety margin):
+    below that rate the flow competes as a primary; any faster is bonus
+    bandwidth it only scavenges for.
+
+    Wire [update] to the flow's ACK stream (e.g. the runner's
+    [on_ack_bytes] callback). *)
+
+type t
+
+val create :
+  ?safety:float ->
+  total_bytes:int ->
+  deadline:float ->
+  threshold_mbps:float ref ->
+  unit ->
+  t
+(** [safety] (default 1.2) multiplies the required rate. The ref is the
+    one given to {!Utility.proteus_h}. The threshold is initialized for
+    [now = 0] with no progress. *)
+
+val update : t -> now:float -> unit
+(** Recompute the threshold from the current time and progress. *)
+
+val on_bytes : t -> now:float -> int -> unit
+(** Record delivered application bytes and recompute. *)
+
+val required_rate_mbps : t -> now:float -> float
+(** The raw requirement: remaining bytes over remaining time (0 once
+    done; infinite once the deadline has passed with bytes left — the
+    flow then behaves as a pure primary). *)
+
+val bytes_remaining : t -> float

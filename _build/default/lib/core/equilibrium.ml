@@ -1,0 +1,95 @@
+type params = {
+  exponent : float;
+  b : float;
+  da : float;
+  capacity_mbps : float;
+}
+
+(* A = (MTU / x) * sqrt((n^2 - 1)/12) with n ~ x * MI / MTU, i.e.
+   A ~ MI_duration / sqrt(12); with RTT-long MIs of ~30 ms this gives
+   d*A ~ 1500 * 0.0087 ~ 13. The model's prediction is therefore that
+   the *static* equilibrium is only mildly skewed — the strong yielding
+   measured in practice comes from the dynamics (deviation reacts to
+   competitors' probing), which the paper leaves outside the model. *)
+let default_params ~capacity_mbps =
+  { exponent = 0.9; b = 900.0; da = 1500.0 *. (0.03 /. sqrt 12.0); capacity_mbps }
+
+let best_response p ~penalty ~others_rate =
+  if penalty <= 0.0 then invalid_arg "Equilibrium.best_response: penalty";
+  let c = p.capacity_mbps in
+  let t = p.exponent in
+  let kink = Float.max 1e-9 (c -. others_rate) in
+  (* Derivative of x^t - penalty * x * (x + R - C)/C for x above the
+     kink; strictly decreasing in x. *)
+  let deriv x =
+    (t *. (x ** (t -. 1.0)))
+    -. (penalty *. ((2.0 *. x) +. others_rate -. c) /. c)
+  in
+  if deriv kink <= 0.0 then kink
+  else begin
+    (* Bracket the root. *)
+    let hi = ref (Float.max (2.0 *. kink) 1.0) in
+    while deriv !hi > 0.0 do
+      hi := !hi *. 2.0;
+      if !hi > 1e12 then invalid_arg "Equilibrium.best_response: no bracket"
+    done;
+    let lo = ref kink and hi = ref !hi in
+    for _ = 1 to 200 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if deriv mid > 0.0 then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+type equilibrium = {
+  rate_p : float;
+  rate_s : float;
+  total : float;
+  iterations : int;
+}
+
+let solve ?(tol = 1e-9) ?(max_iter = 10_000) p ~n_p ~n_s =
+  if n_p < 0 || n_s < 0 || n_p + n_s = 0 then
+    invalid_arg "Equilibrium.solve: need at least one sender";
+  let xp = ref (p.capacity_mbps /. float_of_int (n_p + n_s)) in
+  let xs = ref !xp in
+  (* At the kink the best-response map has slope -(n-1) in each
+     coordinate; damping 1/n cancels it exactly and keeps the interior
+     regime contractive as well. *)
+  let damping = 1.0 /. float_of_int (n_p + n_s) in
+  let iters = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iters < max_iter do
+    incr iters;
+    let next_xp =
+      if n_p = 0 then 0.0
+      else
+        best_response p ~penalty:p.b
+          ~others_rate:
+            ((float_of_int (n_p - 1) *. !xp) +. (float_of_int n_s *. !xs))
+    in
+    let next_xs =
+      if n_s = 0 then 0.0
+      else
+        best_response p ~penalty:(p.b +. p.da)
+          ~others_rate:
+            ((float_of_int n_p *. !xp) +. (float_of_int (n_s - 1) *. !xs))
+    in
+    let new_xp = ((1.0 -. damping) *. !xp) +. (damping *. next_xp) in
+    let new_xs = ((1.0 -. damping) *. !xs) +. (damping *. next_xs) in
+    if Float.abs (new_xp -. !xp) < tol && Float.abs (new_xs -. !xs) < tol then
+      converged := true;
+    xp := new_xp;
+    xs := new_xs
+  done;
+  if not !converged then invalid_arg "Equilibrium.solve: did not converge";
+  {
+    rate_p = !xp;
+    rate_s = !xs;
+    total = (float_of_int n_p *. !xp) +. (float_of_int n_s *. !xs);
+    iterations = !iters;
+  }
+
+let scavenger_share p ~n_p ~n_s =
+  let eq = solve p ~n_p ~n_s in
+  if eq.total <= 0.0 then 0.0 else float_of_int n_s *. eq.rate_s /. eq.total

@@ -1,0 +1,53 @@
+(** Numerical evaluation of the paper's equilibrium model (Appendix A).
+
+    The appendix models [n] Proteus-P and [m] Proteus-S senders sharing
+    a bottleneck of capacity [C] (Mbps), with utilities (loss terms
+    omitted, [S = sum of rates >= C]):
+
+    {v
+      u_P(x_i) = x_i^t - b x_i (S - C)/C
+      u_S(x_i) = x_i^t - (b + d A) x_i (S - C)/C
+    v}
+
+    where [A] is the deviation conversion constant derived from the
+    arithmetic-progression RTT model. The induced game is strictly
+    socially concave, so a unique Nash equilibrium exists; this module
+    computes it numerically, giving an executable check of Theorems
+    4.1/4.2 and a prediction of the P/S bandwidth split that the
+    simulator's empirical equilibria can be compared against. *)
+
+type params = {
+  exponent : float;  (** [t], 0 < t < 1. *)
+  b : float;  (** Latency-gradient coefficient. *)
+  da : float;  (** The scavenger's extra penalty coefficient [d*A]. *)
+  capacity_mbps : float;
+}
+
+val default_params : capacity_mbps:float -> params
+(** Paper defaults: [t = 0.9], [b = 900], and [d*A] for MTU-sized
+    packets at the given capacity (A ≈ MTU-based constant; we use the
+    paper's coefficient scale so that [da > 0]). *)
+
+val best_response :
+  params -> penalty:float -> others_rate:float -> float
+(** [best_response p ~penalty ~others_rate] maximizes
+    [x^t - penalty * x * (x + others - C)/C] over [x >= 0] for a sender
+    whose combined gradient penalty coefficient is [penalty]
+    ([b] for P, [b + da] for S). Solved by bisection on the strictly
+    decreasing derivative. *)
+
+type equilibrium = {
+  rate_p : float;  (** Per-sender rate of each Proteus-P flow (Mbps). *)
+  rate_s : float;  (** Per-sender rate of each Proteus-S flow (Mbps). *)
+  total : float;
+  iterations : int;
+}
+
+val solve : ?tol:float -> ?max_iter:int -> params -> n_p:int -> n_s:int -> equilibrium
+(** Fixed-point iteration of simultaneous best responses. By symmetry
+    and uniqueness (Appendix A), all P senders share one rate and all S
+    senders another. Raises [Invalid_argument] if [n_p + n_s = 0] or the
+    iteration fails to converge. *)
+
+val scavenger_share : params -> n_p:int -> n_s:int -> float
+(** Fraction of the link taken by the scavengers at equilibrium. *)

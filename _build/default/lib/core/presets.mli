@@ -1,0 +1,40 @@
+(** Ready-made sender factories for the Proteus family and the Vivace
+    baseline. For applications that must talk to the live controller
+    (dynamic utility switching, Proteus-H threshold updates), the
+    [*_with_handle] variants expose the {!Controller.t} alongside the
+    factory; the factory must then be used for exactly one flow. *)
+
+val allegro : unit -> Proteus_net.Sender.factory
+(** PCC Allegro: loss-based utility with Vivace's control loop (as in
+    the original, adapted to the shared framework). *)
+
+val vivace : unit -> Proteus_net.Sender.factory
+(** PCC Vivace: Vivace utility, fixed gradient tolerance, 2-pair
+    consistent probing, no adaptive noise mechanisms. *)
+
+val proteus_p : unit -> Proteus_net.Sender.factory
+(** Primary mode (Eq. 1) with the full Proteus noise pipeline. *)
+
+val proteus_s : unit -> Proteus_net.Sender.factory
+(** Scavenger mode (Eq. 2). *)
+
+val proteus_h : threshold_mbps:float ref -> Proteus_net.Sender.factory
+(** Hybrid mode (Eq. 3); the switching threshold is read through the
+    ref at every utility evaluation. *)
+
+val proteus_s_ablated :
+  ?ack_filter:bool ->
+  ?regression_tolerance:bool ->
+  ?trending_tolerance:bool ->
+  ?majority_rule:bool ->
+  unit ->
+  Proteus_net.Sender.factory
+(** Proteus-S with individual noise-tolerance mechanisms disabled, for
+    the ablation benches. All default to enabled. *)
+
+val with_handle :
+  Controller.config ->
+  Proteus_net.Sender.factory * (unit -> Controller.t option)
+(** [factory, get]: [get ()] returns the controller once the flow has
+    been created. The factory raises [Invalid_argument] if used for
+    more than one flow. *)

@@ -1,0 +1,129 @@
+module Mean_dev = Proteus_stats.Ewma.Mean_dev
+module Regression = Proteus_stats.Regression
+module Descriptive = Proteus_stats.Descriptive
+
+type config = {
+  regression_tolerance : bool;
+  trending_tolerance : bool;
+  history : int;
+  g1 : float;
+  g2 : float;
+  fixed_gradient_threshold : float option;
+}
+
+let proteus_default =
+  {
+    regression_tolerance = true;
+    trending_tolerance = true;
+    history = 6;
+    g1 = 2.0;
+    g2 = 4.0;
+    fixed_gradient_threshold = None;
+  }
+
+let vivace_default =
+  {
+    regression_tolerance = false;
+    trending_tolerance = false;
+    history = 6;
+    g1 = 2.0;
+    g2 = 4.0;
+    fixed_gradient_threshold = Some 0.01;
+  }
+
+let disabled =
+  {
+    regression_tolerance = false;
+    trending_tolerance = false;
+    history = 6;
+    g1 = 2.0;
+    g2 = 4.0;
+    fixed_gradient_threshold = None;
+  }
+
+type t = {
+  config : config;
+  (* Most recent [history] MIs' (mean RTT, RTT deviation), newest last. *)
+  mutable avg_rtts : float list;
+  mutable deviations : float list;
+  trend_grad : Mean_dev.t;
+  trend_dev : Mean_dev.t;
+}
+
+let create config =
+  {
+    config;
+    avg_rtts = [];
+    deviations = [];
+    trend_grad = Mean_dev.create ();
+    trend_dev = Mean_dev.create ();
+  }
+
+let push_bounded t x xs =
+  let xs = xs @ [ x ] in
+  let extra = List.length xs - t.config.history in
+  if extra > 0 then List.filteri (fun i _ -> i >= extra) xs else xs
+
+(* Returns (trending_gradient significant, trending_deviation
+   significant) for the MI just folded in. Until the EWMA trackers have
+   seen enough samples the trend is treated as insignificant, deferring
+   to the per-MI gate. *)
+let update_trending t (m : Mi.metrics) =
+  t.avg_rtts <- push_bounded t m.Mi.avg_rtt t.avg_rtts;
+  t.deviations <- push_bounded t m.Mi.rtt_deviation t.deviations;
+  if List.length t.avg_rtts < 2 then (false, false)
+  else begin
+    let trending_gradient =
+      Regression.slope_of_indexed (Array.of_list t.avg_rtts)
+    in
+    let trending_deviation =
+      Descriptive.stddev (Array.of_list t.deviations)
+    in
+    let significant tracker sample ~gate ~two_sided =
+      let result =
+        match (Mean_dev.mean tracker, Mean_dev.deviation tracker) with
+        | Some avg, Some dev when Mean_dev.n_samples tracker >= 3 ->
+            let delta =
+              if two_sided then Float.abs (sample -. avg) else sample -. avg
+            in
+            delta >= gate *. dev
+        | _ -> false
+      in
+      Mean_dev.update tracker sample;
+      result
+    in
+    let grad_sig =
+      significant t.trend_grad trending_gradient ~gate:t.config.g1
+        ~two_sided:true
+    in
+    let dev_sig =
+      significant t.trend_dev trending_deviation ~gate:t.config.g2
+        ~two_sided:false
+    in
+    (grad_sig, dev_sig)
+  end
+
+let adjust t (m : Mi.metrics) =
+  let m =
+    match t.config.fixed_gradient_threshold with
+    | Some threshold when Float.abs m.Mi.rtt_gradient < threshold ->
+        { m with Mi.rtt_gradient = 0.0 }
+    | _ -> m
+  in
+  let grad_sig, dev_sig =
+    if t.config.trending_tolerance then update_trending t m
+    else (false, false)
+  in
+  if not t.config.regression_tolerance then m
+  else if Float.abs m.Mi.rtt_gradient < m.Mi.regression_error then begin
+    (* Statistically indistinguishable from noise, unless the longer
+       trend vetoes. *)
+    let zero_grad = not grad_sig in
+    let zero_dev = zero_grad && not dev_sig in
+    {
+      m with
+      Mi.rtt_gradient = (if zero_grad then 0.0 else m.Mi.rtt_gradient);
+      Mi.rtt_deviation = (if zero_dev then 0.0 else m.Mi.rtt_deviation);
+    }
+  end
+  else m

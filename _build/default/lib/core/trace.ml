@@ -1,0 +1,33 @@
+type sample = {
+  time : float;
+  metrics : Mi.metrics;
+  utility : float;
+  controller_rate_mbps : float;
+}
+
+type t = { controller : Controller.t; mutable rev_samples : sample list }
+
+let attach controller =
+  let t = { controller; rev_samples = [] } in
+  Controller.set_mi_observer controller
+    (Some
+       (fun ~now metrics ~utility ~rate_mbps ->
+         t.rev_samples <-
+           { time = now; metrics; utility; controller_rate_mbps = rate_mbps }
+           :: t.rev_samples));
+  t
+
+let detach t = Controller.set_mi_observer t.controller None
+let samples t = List.rev t.rev_samples
+let length t = List.length t.rev_samples
+
+let rate_series t =
+  List.rev_map (fun s -> (s.time, s.controller_rate_mbps)) t.rev_samples
+
+let utility_series t =
+  List.rev_map (fun s -> (s.time, s.utility)) t.rev_samples
+
+let time_to_rate t ~rate_mbps =
+  List.find_map
+    (fun s -> if s.controller_rate_mbps >= rate_mbps then Some s.time else None)
+    (samples t)

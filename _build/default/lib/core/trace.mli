@@ -1,0 +1,33 @@
+(** Controller tracing: records every completed monitor interval of a
+    {!Controller} into memory for offline analysis (rate/utility curves,
+    convergence studies, debugging). Built on
+    {!Controller.set_mi_observer}. *)
+
+type sample = {
+  time : float;  (** Simulation time the MI result was processed. *)
+  metrics : Mi.metrics;  (** Noise-adjusted MI metrics. *)
+  utility : float;
+  controller_rate_mbps : float;  (** Base rate after the decision. *)
+}
+
+type t
+
+val attach : Controller.t -> t
+(** Start recording (replaces any previously installed observer). *)
+
+val detach : t -> unit
+(** Stop recording (clears the controller's observer). *)
+
+val samples : t -> sample list
+(** Recorded samples, oldest first. *)
+
+val length : t -> int
+
+val rate_series : t -> (float * float) list
+(** [(time, controller rate in Mbps)] pairs, oldest first. *)
+
+val utility_series : t -> (float * float) list
+
+val time_to_rate : t -> rate_mbps:float -> float option
+(** First time the controller's base rate reached the given level
+    (convergence-time measurements). *)

@@ -1,0 +1,1 @@
+lib/eventsim/sim.ml: Float Heap

@@ -1,0 +1,20 @@
+(** Array-backed binary min-heap keyed by [(time, tiebreak)].
+
+    The tiebreak is a monotonically increasing insertion counter so
+    that simultaneous events fire in FIFO order — important for
+    reproducibility of packet-level simulations. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert a payload keyed by [time]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event without removing it. *)

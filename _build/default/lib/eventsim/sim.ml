@@ -1,0 +1,42 @@
+type event = { handler : unit -> unit; mutable live : bool }
+type t = { mutable clock : float; queue : event Heap.t }
+type cancel = event
+
+let create () = { clock = 0.0; queue = Heap.create () }
+let now t = t.clock
+
+let at t ~time handler =
+  let time = Float.max time t.clock in
+  Heap.push t.queue ~time { handler; live = true }
+
+let after t ~delay handler = at t ~time:(t.clock +. Float.max 0.0 delay) handler
+
+let at_cancellable t ~time handler =
+  let time = Float.max time t.clock in
+  let ev = { handler; live = true } in
+  Heap.push t.queue ~time ev;
+  ev
+
+let cancel ev = ev.live <- false
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time t.queue with
+    | None ->
+        (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
+        continue := false
+    | Some time -> (
+        match until with
+        | Some u when time > u ->
+            t.clock <- u;
+            continue := false
+        | _ -> (
+            match Heap.pop t.queue with
+            | None -> continue := false
+            | Some (time, ev) ->
+                t.clock <- time;
+                if ev.live then ev.handler ()))
+  done
+
+let pending t = Heap.length t.queue

@@ -1,0 +1,36 @@
+(** Simulation kernel: a virtual clock and a schedule of thunks.
+
+    Handlers scheduled with {!at} or {!after} run with the clock set to
+    their firing time. The kernel is single-threaded and deterministic:
+    events at equal times fire in scheduling order. *)
+
+type t
+
+val create : unit -> t
+(** Fresh simulation with the clock at 0. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** Schedule a handler at an absolute time (clamped to [now] if in the
+    past). *)
+
+val after : t -> delay:float -> (unit -> unit) -> unit
+(** Schedule a handler [delay] seconds from now (negative delays clamp
+    to zero). *)
+
+type cancel
+(** Handle for a cancellable event. *)
+
+val at_cancellable : t -> time:float -> (unit -> unit) -> cancel
+val cancel : cancel -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue, advancing the clock. With [?until], stop
+    once the next event lies strictly beyond that time (the clock is
+    then set to [until]). *)
+
+val pending : t -> int
+(** Number of events still queued. *)

@@ -1,0 +1,1 @@
+lib/net/flow_stats.ml: Array Float Proteus_stats Units

@@ -1,0 +1,1 @@
+lib/net/link.mli: Noise Proteus_stats

@@ -1,0 +1,1 @@
+lib/net/noise.ml: Float Proteus_stats Units

@@ -1,0 +1,1 @@
+lib/net/noise.mli: Proteus_stats

@@ -1,0 +1,1 @@
+lib/net/runner.ml: Float Flow_stats Link Proteus_eventsim Proteus_stats Sender Units

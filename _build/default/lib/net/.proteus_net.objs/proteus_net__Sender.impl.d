@@ -1,0 +1,1 @@
+lib/net/sender.ml: Proteus_stats

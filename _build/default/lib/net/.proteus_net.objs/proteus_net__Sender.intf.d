@@ -1,0 +1,1 @@
+lib/net/sender.mli: Proteus_stats

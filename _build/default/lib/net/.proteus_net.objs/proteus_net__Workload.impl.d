@@ -1,0 +1,1 @@
+lib/net/workload.ml: Printf Proteus_eventsim Proteus_stats Runner

@@ -1,0 +1,1 @@
+lib/net/workload.mli: Proteus_stats Runner Sender

@@ -1,0 +1,94 @@
+module Fvec = Proteus_stats.Fvec
+
+type t = {
+  mutable sent : int;
+  mutable acked : int;
+  mutable lost : int;
+  mutable bytes_acked : float;
+  ack_times : Fvec.t;
+  ack_bytes : Fvec.t;
+  rtts : Fvec.t;
+}
+
+let create () =
+  {
+    sent = 0;
+    acked = 0;
+    lost = 0;
+    bytes_acked = 0.0;
+    ack_times = Fvec.create ~capacity:1024 ();
+    ack_bytes = Fvec.create ~capacity:1024 ();
+    rtts = Fvec.create ~capacity:1024 ();
+  }
+
+let record_sent t ~now:_ ~size:_ = t.sent <- t.sent + 1
+
+let record_ack t ~now ~size ~rtt =
+  t.acked <- t.acked + 1;
+  t.bytes_acked <- t.bytes_acked +. float_of_int size;
+  Fvec.push t.ack_times now;
+  Fvec.push t.ack_bytes (float_of_int size);
+  Fvec.push t.rtts rtt
+
+let record_loss t ~now:_ ~size:_ = t.lost <- t.lost + 1
+let packets_sent t = t.sent
+let packets_acked t = t.acked
+let packets_lost t = t.lost
+let bytes_acked t = t.bytes_acked
+
+let loss_fraction t =
+  if t.sent = 0 then 0.0 else float_of_int t.lost /. float_of_int t.sent
+
+(* Index of first ack at or after [time]. *)
+let lower_bound t time =
+  let lo = ref 0 and hi = ref (Fvec.length t.ack_times) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Fvec.get t.ack_times mid < time then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let window_indices t ~t0 ~t1 =
+  let i0 = lower_bound t t0 in
+  let i1 = lower_bound t t1 in
+  (i0, i1)
+
+let throughput_mbps t ~t0 ~t1 =
+  if t1 <= t0 then invalid_arg "Flow_stats.throughput_mbps: empty window";
+  let i0, i1 = window_indices t ~t0 ~t1 in
+  let bytes = ref 0.0 in
+  for i = i0 to i1 - 1 do
+    bytes := !bytes +. Fvec.get t.ack_bytes i
+  done;
+  Units.bytes_per_sec_to_mbps (!bytes /. (t1 -. t0))
+
+let rtt_samples t ~t0 ~t1 =
+  let i0, i1 = window_indices t ~t0 ~t1 in
+  Fvec.sub_array t.rtts ~pos:i0 ~len:(i1 - i0)
+
+let rtt_percentile t ~t0 ~t1 ~p =
+  let samples = rtt_samples t ~t0 ~t1 in
+  if Array.length samples = 0 then None
+  else Some (Proteus_stats.Descriptive.percentile samples ~p)
+
+let throughput_series t ~bin ~until =
+  if bin <= 0.0 then invalid_arg "Flow_stats.throughput_series: bin";
+  let nbins = int_of_float (Float.ceil (until /. bin)) in
+  let acc = Array.make (max nbins 1) 0.0 in
+  let n = Fvec.length t.ack_times in
+  for i = 0 to n - 1 do
+    let time = Fvec.get t.ack_times i in
+    if time < until then begin
+      let b = min (int_of_float (time /. bin)) (nbins - 1) in
+      acc.(b) <- acc.(b) +. Fvec.get t.ack_bytes i
+    end
+  done;
+  Array.mapi
+    (fun i bytes ->
+      (float_of_int i *. bin, Units.bytes_per_sec_to_mbps (bytes /. bin)))
+    acc
+
+let first_ack_time t =
+  if Fvec.length t.ack_times = 0 then None else Some (Fvec.get t.ack_times 0)
+
+let last_ack_time t = Fvec.last t.ack_times

@@ -1,0 +1,40 @@
+(** Per-flow measurement record collected by the {!Runner}.
+
+    Samples are appended in simulation-time order, so windowed queries
+    use binary search over the timestamp logs. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Recording (used by the runner)} *)
+
+val record_sent : t -> now:float -> size:int -> unit
+val record_ack : t -> now:float -> size:int -> rtt:float -> unit
+val record_loss : t -> now:float -> size:int -> unit
+
+(** {2 Queries} *)
+
+val packets_sent : t -> int
+val packets_acked : t -> int
+val packets_lost : t -> int
+val bytes_acked : t -> float
+val loss_fraction : t -> float
+(** Lost / sent over the whole run (0 when nothing sent). *)
+
+val throughput_mbps : t -> t0:float -> t1:float -> float
+(** Goodput over the window: bytes whose ACK arrived in [\[t0,t1)],
+    divided by the window length. *)
+
+val rtt_samples : t -> t0:float -> t1:float -> float array
+(** RTT samples (seconds) whose ACKs arrived within the window. *)
+
+val rtt_percentile : t -> t0:float -> t1:float -> p:float -> float option
+(** Percentile of windowed RTT samples; [None] when no samples. *)
+
+val throughput_series : t -> bin:float -> until:float -> (float * float) array
+(** [(bin_start_time, mbps)] series of goodput binned at [bin]-second
+    granularity from time 0 to [until]. *)
+
+val first_ack_time : t -> float option
+val last_ack_time : t -> float option

@@ -1,0 +1,65 @@
+module Rng = Proteus_stats.Rng
+
+type config = {
+  bandwidth_mbps : float;
+  rtt_ms : float;
+  buffer_bytes : int;
+  loss_rate : float;
+  noise : Noise.spec;
+}
+
+let config ?(loss_rate = 0.0) ?(noise = Noise.None_) ~bandwidth_mbps ~rtt_ms
+    ~buffer_bytes () =
+  { bandwidth_mbps; rtt_ms; buffer_bytes; loss_rate; noise }
+
+type outcome =
+  | Delivered of { ack_time : float; rtt : float }
+  | Dropped of { notify_time : float }
+
+type t = {
+  capacity : float;  (* bytes per second *)
+  prop_one_way : float;
+  buffer_bytes : float;
+  loss_rate : float;
+  rng : Rng.t;
+  noise : Noise.t;
+  mutable free_at : float;
+}
+
+let create cfg ~rng =
+  {
+    capacity = Units.mbps_to_bytes_per_sec cfg.bandwidth_mbps;
+    prop_one_way = Units.ms cfg.rtt_ms /. 2.0;
+    buffer_bytes = float_of_int cfg.buffer_bytes;
+    loss_rate = cfg.loss_rate;
+    rng = Rng.split rng;
+    noise = Noise.create cfg.noise ~rng:(Rng.split rng);
+    free_at = 0.0;
+  }
+
+let capacity_bytes_per_sec t = t.capacity
+let base_rtt t = 2.0 *. t.prop_one_way
+let backlog_bytes t ~now = Float.max 0.0 (t.free_at -. now) *. t.capacity
+let queue_delay t ~now = Float.max 0.0 (t.free_at -. now)
+
+(* A sender learns of a loss when a later packet's ACK reveals the
+   sequence gap — approximately one current RTT after the drop. *)
+let loss_notify_time t ~now =
+  now +. queue_delay t ~now +. (2.0 *. t.prop_one_way)
+
+let transmit t ~now ~size =
+  if Rng.bernoulli t.rng ~p:t.loss_rate then
+    Dropped { notify_time = loss_notify_time t ~now }
+  else begin
+    let sizef = float_of_int size in
+    if backlog_bytes t ~now +. sizef > t.buffer_bytes then
+      Dropped { notify_time = loss_notify_time t ~now }
+    else begin
+      let start = Float.max now t.free_at in
+      let departure = start +. (sizef /. t.capacity) in
+      t.free_at <- departure;
+      let nominal_ack = departure +. (2.0 *. t.prop_one_way) in
+      let ack_time = Noise.ack_delivery_time t.noise ~now ~nominal:nominal_ack in
+      Delivered { ack_time; rtt = ack_time -. now }
+    end
+  end

@@ -1,0 +1,49 @@
+(** The shared bottleneck.
+
+    A single FIFO tail-drop queue served at a fixed rate, modelled as a
+    virtual queue: the backlog at time [t] is [(free_at - t) * capacity]
+    bytes, where [free_at] is when the server would go idle. A packet
+    admitted at [t] departs at [max t free_at + size/capacity] and is
+    delivered one propagation delay later; the ACK returns after another
+    propagation delay plus noise. Packets are dropped on admission when
+    the backlog would exceed the buffer (tail drop) or by iid random
+    loss. *)
+
+type config = {
+  bandwidth_mbps : float;
+  rtt_ms : float;  (** Base (propagation) round-trip time. *)
+  buffer_bytes : int;  (** Bottleneck queue capacity. *)
+  loss_rate : float;  (** iid random-loss probability, 0 by default. *)
+  noise : Noise.spec;
+}
+
+val config :
+  ?loss_rate:float ->
+  ?noise:Noise.spec ->
+  bandwidth_mbps:float ->
+  rtt_ms:float ->
+  buffer_bytes:int ->
+  unit ->
+  config
+
+type outcome =
+  | Delivered of { ack_time : float; rtt : float }
+      (** ACK reaches the sender at [ack_time]; [rtt] is the full
+          round-trip experienced. *)
+  | Dropped of { notify_time : float }
+      (** Packet was lost; the sender learns at [notify_time]. *)
+
+type t
+
+val create : config -> rng:Proteus_stats.Rng.t -> t
+val capacity_bytes_per_sec : t -> float
+val base_rtt : t -> float
+
+val backlog_bytes : t -> now:float -> float
+(** Bytes currently queued (including the packet in service). *)
+
+val queue_delay : t -> now:float -> float
+(** Time a packet admitted now would wait before starting service. *)
+
+val transmit : t -> now:float -> size:int -> outcome
+(** Offer a packet to the link at time [now]. *)

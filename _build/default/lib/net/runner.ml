@@ -1,0 +1,170 @@
+module Sim = Proteus_eventsim.Sim
+module Rng = Proteus_stats.Rng
+
+(* Cap on packets transmitted per poll before yielding back to the event
+   loop, so simultaneous events from other flows interleave fairly. *)
+let burst_cap = 64
+
+type flow = {
+  label : string;
+  sender : Sender.packed;
+  stats : Flow_stats.t;
+  mutable next_seq : int;
+  mutable remaining : int option; (* bytes not yet handed to the link *)
+  total_bytes : int option;
+  mutable acked_bytes : int;
+  start : float;
+  stop : float option;
+  mutable blocked : bool;
+  mutable paused : bool;
+  mutable poll_pending : bool;
+  mutable complete : bool;
+  mutable completed_at : float option;
+  on_complete : (now:float -> unit) option;
+  on_ack_bytes : (now:float -> int -> unit) option;
+}
+
+type t = {
+  sim : Sim.t;
+  link : Link.t;
+  root_rng : Rng.t;
+  mutable flows : flow list;
+}
+
+let create ?(seed = 42) link_cfg =
+  let root_rng = Rng.create ~seed in
+  let sim = Sim.create () in
+  let link = Link.create link_cfg ~rng:(Rng.split root_rng) in
+  { sim; link; root_rng; flows = [] }
+
+let sim t = t.sim
+let link t = t.link
+let rng t = t.root_rng
+let stats f = f.stats
+let label f = f.label
+let sender f = f.sender
+let is_complete f = f.complete
+let completion_time f = f.completed_at
+
+let sending_allowed t f =
+  (not f.complete) && (not f.paused)
+  && (match f.stop with Some s -> Sim.now t.sim < s | None -> true)
+  && match f.remaining with Some r -> r > 0 | None -> true
+
+let rec schedule_poll t f ~time =
+  if not f.poll_pending then begin
+    f.poll_pending <- true;
+    Sim.at t.sim ~time (fun () ->
+        f.poll_pending <- false;
+        poll t f)
+  end
+
+and poll t f =
+  if sending_allowed t f then begin
+    let now = Sim.now t.sim in
+    match Sender.next_send f.sender ~now with
+    | `Blocked -> f.blocked <- true
+    | `At time ->
+        if time <= now then send_burst t f 1 else schedule_poll t f ~time
+    | `Now -> send_burst t f burst_cap
+  end
+
+and send_burst t f budget =
+  if budget = 0 then schedule_poll t f ~time:(Sim.now t.sim)
+  else if sending_allowed t f then begin
+    let now = Sim.now t.sim in
+    match Sender.next_send f.sender ~now with
+    | `Blocked -> f.blocked <- true
+    | `At time -> if time <= now then transmit t f budget else schedule_poll t f ~time
+    | `Now -> transmit t f budget
+  end
+
+and transmit t f budget =
+  let now = Sim.now t.sim in
+  let size =
+    match f.remaining with
+    | Some r -> min r Units.mtu
+    | None -> Units.mtu
+  in
+  let seq = f.next_seq in
+  f.next_seq <- seq + 1;
+  (match f.remaining with Some r -> f.remaining <- Some (r - size) | None -> ());
+  f.stats |> fun st -> Flow_stats.record_sent st ~now ~size;
+  Sender.on_sent f.sender ~now ~seq ~size;
+  (match Link.transmit t.link ~now ~size with
+  | Link.Delivered { ack_time; rtt } ->
+      Sim.at t.sim ~time:ack_time (fun () -> handle_ack t f ~seq ~send_time:now ~size ~rtt)
+  | Link.Dropped { notify_time } ->
+      Sim.at t.sim ~time:notify_time (fun () ->
+          handle_loss t f ~seq ~send_time:now ~size));
+  send_burst t f (budget - 1)
+
+(* Re-arm the send loop after any ACK/loss: window senders unblock, and
+   finite flows whose retransmission budget was just replenished resume.
+   [schedule_poll] dedups, so this is a no-op when a poll is pending. *)
+and kick t f =
+  f.blocked <- false;
+  if sending_allowed t f then schedule_poll t f ~time:(Sim.now t.sim)
+
+and handle_ack t f ~seq ~send_time ~size ~rtt =
+  let now = Sim.now t.sim in
+  Flow_stats.record_ack f.stats ~now ~size ~rtt;
+  Sender.on_ack f.sender ~now ~seq ~send_time ~size ~rtt;
+  f.acked_bytes <- f.acked_bytes + size;
+  (match f.on_ack_bytes with Some cb -> cb ~now size | None -> ());
+  (match f.total_bytes with
+  | Some total when (not f.complete) && f.acked_bytes >= total ->
+      f.complete <- true;
+      f.completed_at <- Some now;
+      (match f.on_complete with Some cb -> cb ~now | None -> ())
+  | _ -> ());
+  kick t f
+
+and handle_loss t f ~seq ~send_time ~size =
+  let now = Sim.now t.sim in
+  Flow_stats.record_loss f.stats ~now ~size;
+  Sender.on_loss f.sender ~now ~seq ~send_time ~size;
+  (* Reliable delivery for finite flows: the lost bytes re-enter the
+     send budget (retransmission). *)
+  (match f.remaining with
+  | Some r when f.total_bytes <> None -> f.remaining <- Some (r + size)
+  | _ -> ());
+  kick t f
+
+let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
+    ~label ~factory =
+  let env = { Sender.rng = Rng.split t.root_rng; mtu = Units.mtu } in
+  let f =
+    {
+      label;
+      sender = factory env;
+      stats = Flow_stats.create ();
+      next_seq = 0;
+      remaining = size_bytes;
+      total_bytes = size_bytes;
+      acked_bytes = 0;
+      start;
+      stop;
+      blocked = false;
+      paused = false;
+      poll_pending = false;
+      complete = false;
+      completed_at = None;
+      on_complete;
+      on_ack_bytes;
+    }
+  in
+  t.flows <- f :: t.flows;
+  schedule_poll t f ~time:start;
+  f
+
+let pause _t f = f.paused <- true
+
+let resume t f =
+  if f.paused then begin
+    f.paused <- false;
+    f.blocked <- false;
+    schedule_poll t f ~time:(Float.max f.start (Sim.now t.sim))
+  end
+
+let run t ~until = Sim.run ~until t.sim

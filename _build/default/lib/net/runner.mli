@@ -1,0 +1,54 @@
+(** Scenario driver: a set of flows sharing one bottleneck link.
+
+    The runner owns the event loop. It polls each sender for pacing
+    decisions, pushes packets through the {!Link}, and delivers
+    ACK/loss callbacks both to the sender (congestion control) and to
+    the flow's {!Flow_stats} record. Flows may be bulk (infinite data),
+    finite-size (reliable: lost bytes are retransmitted and the flow
+    completes when every byte is acknowledged), time-bounded, and may be
+    added while the simulation is running (workload generators). *)
+
+type t
+type flow
+
+val create : ?seed:int -> Link.config -> t
+(** Fresh scenario over a link with the given configuration. The seed
+    (default 42) determines all randomness: link loss, noise, sender
+    probing order, workload arrivals. *)
+
+val sim : t -> Proteus_eventsim.Sim.t
+val link : t -> Link.t
+val rng : t -> Proteus_stats.Rng.t
+(** Derive workload-level random streams from this. *)
+
+val add_flow :
+  ?start:float ->
+  ?stop:float ->
+  ?size_bytes:int ->
+  ?on_complete:(now:float -> unit) ->
+  ?on_ack_bytes:(now:float -> int -> unit) ->
+  t ->
+  label:string ->
+  factory:Sender.factory ->
+  flow
+(** Register a flow. [start] (default 0) is when it begins transmitting,
+    [stop] an optional hard stop for new transmissions, [size_bytes] an
+    optional finite transfer size. [on_ack_bytes] fires on every
+    acknowledged packet (application byte delivery, e.g. a video
+    player); [on_complete] fires when a finite flow has every byte
+    acknowledged. *)
+
+val stats : flow -> Flow_stats.t
+val label : flow -> string
+val sender : flow -> Sender.packed
+val is_complete : flow -> bool
+val completion_time : flow -> float option
+
+val pause : t -> flow -> unit
+(** Stop transmitting (e.g. full playback buffer); ACKs still drain. *)
+
+val resume : t -> flow -> unit
+
+val run : t -> until:float -> unit
+(** Advance the simulation to the given time. May be called repeatedly
+    with increasing horizons. *)

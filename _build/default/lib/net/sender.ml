@@ -1,0 +1,30 @@
+type env = { rng : Proteus_stats.Rng.t; mtu : int }
+type decision = [ `Now | `At of float | `Blocked ]
+
+module type S = sig
+  type t
+
+  val name : t -> string
+  val next_send : t -> now:float -> decision
+  val on_sent : t -> now:float -> seq:int -> size:int -> unit
+
+  val on_ack :
+    t -> now:float -> seq:int -> send_time:float -> size:int -> rtt:float -> unit
+
+  val on_loss : t -> now:float -> seq:int -> send_time:float -> size:int -> unit
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let pack (type a) (module M : S with type t = a) (v : a) = Packed ((module M), v)
+let name (Packed ((module M), v)) = M.name v
+let next_send (Packed ((module M), v)) ~now = M.next_send v ~now
+let on_sent (Packed ((module M), v)) ~now ~seq ~size = M.on_sent v ~now ~seq ~size
+
+let on_ack (Packed ((module M), v)) ~now ~seq ~send_time ~size ~rtt =
+  M.on_ack v ~now ~seq ~send_time ~size ~rtt
+
+let on_loss (Packed ((module M), v)) ~now ~seq ~send_time ~size =
+  M.on_loss v ~now ~seq ~send_time ~size
+
+type factory = env -> packed

@@ -1,0 +1,63 @@
+(** The congestion-controller interface.
+
+    Every transport protocol in this repository — the baselines in
+    [Proteus_cc] and the Proteus family in [Proteus] — implements
+    {!S}. The scenario {!Runner} drives instances through this
+    interface:
+
+    - it polls {!S.next_send} whenever the flow may transmit;
+    - it reports each transmission via {!S.on_sent};
+    - for every data packet exactly one of {!S.on_ack} / {!S.on_loss}
+      is eventually delivered (per-packet ACKs, loss learned one RTT
+      after the drop).
+
+    Window-based protocols answer [`Blocked]; they are re-polled after
+    each ACK/loss. Rate-based protocols answer [`At t] to pace. *)
+
+type env = {
+  rng : Proteus_stats.Rng.t;  (** Private random stream for the sender. *)
+  mtu : int;  (** Packet payload size in bytes. *)
+}
+
+type decision =
+  [ `Now  (** Transmit a packet immediately. *)
+  | `At of float  (** Transmit no earlier than this absolute time. *)
+  | `Blocked  (** Window-limited: wait for the next ACK/loss. *) ]
+
+module type S = sig
+  type t
+
+  val name : t -> string
+  (** Short protocol label used in reports (e.g. ["cubic"]). *)
+
+  val next_send : t -> now:float -> decision
+
+  val on_sent : t -> now:float -> seq:int -> size:int -> unit
+  (** The runner transmitted packet [seq] of [size] bytes. *)
+
+  val on_ack :
+    t -> now:float -> seq:int -> send_time:float -> size:int -> rtt:float -> unit
+  (** Packet [seq] was acknowledged; [rtt] includes queueing, twice the
+      propagation delay and any ACK-path noise. *)
+
+  val on_loss : t -> now:float -> seq:int -> send_time:float -> size:int -> unit
+  (** Packet [seq] was dropped (tail drop or random loss); the
+      notification arrives roughly one RTT after the drop. *)
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+(** An instantiated sender. *)
+
+val pack : (module S with type t = 'a) -> 'a -> packed
+val name : packed -> string
+val next_send : packed -> now:float -> decision
+val on_sent : packed -> now:float -> seq:int -> size:int -> unit
+
+val on_ack :
+  packed -> now:float -> seq:int -> send_time:float -> size:int -> rtt:float -> unit
+
+val on_loss : packed -> now:float -> seq:int -> send_time:float -> size:int -> unit
+
+type factory = env -> packed
+(** Protocols are supplied to scenarios as factories so each flow gets
+    its own instance and random stream. *)

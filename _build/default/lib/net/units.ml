@@ -1,0 +1,9 @@
+let mtu = 1500
+let mbps_to_bytes_per_sec m = m *. 1e6 /. 8.0
+let bytes_per_sec_to_mbps b = b *. 8.0 /. 1e6
+let ms x = x /. 1000.0
+let sec_to_ms x = x *. 1000.0
+let kb x = int_of_float (x *. 1000.0)
+
+let bdp_bytes ~bandwidth_mbps ~rtt_ms =
+  mbps_to_bytes_per_sec bandwidth_mbps *. ms rtt_ms

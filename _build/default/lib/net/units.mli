@@ -1,0 +1,17 @@
+(** Unit conversions. Internally the simulator works in bytes and
+    seconds; scenario descriptions and reports use Mbps, ms and KB. *)
+
+val mtu : int
+(** Packet size used throughout: 1500 bytes, headers ignored. *)
+
+val mbps_to_bytes_per_sec : float -> float
+val bytes_per_sec_to_mbps : float -> float
+val ms : float -> float
+(** Milliseconds to seconds. *)
+
+val sec_to_ms : float -> float
+val kb : float -> int
+(** Kilobytes (1000-based, as in the paper's buffer sizes) to bytes. *)
+
+val bdp_bytes : bandwidth_mbps:float -> rtt_ms:float -> float
+(** Bandwidth-delay product in bytes. *)

@@ -1,0 +1,23 @@
+module Sim = Proteus_eventsim.Sim
+module Rng = Proteus_stats.Rng
+
+let poisson_short_flows runner ~factory ~rate_per_sec ~size_bytes ~from_time
+    ~until ~label_prefix =
+  let flows = ref [] in
+  if rate_per_sec > 0.0 then begin
+    let rng = Rng.split (Runner.rng runner) in
+    let sim = Runner.sim runner in
+    let count = ref 0 in
+    let rec arrival time =
+      if time < until then
+        Sim.at sim ~time (fun () ->
+            incr count;
+            let size = size_bytes rng in
+            let label = Printf.sprintf "%s-%d" label_prefix !count in
+            let f = Runner.add_flow runner ~label ~factory ~size_bytes:size in
+            flows := f :: !flows;
+            arrival (time +. Rng.exponential rng ~mean:(1.0 /. rate_per_sec)))
+    in
+    arrival (from_time +. Rng.exponential rng ~mean:(1.0 /. rate_per_sec))
+  end;
+  flows

@@ -1,0 +1,15 @@
+(** Workload generators layered on the {!Runner}. *)
+
+val poisson_short_flows :
+  Runner.t ->
+  factory:Sender.factory ->
+  rate_per_sec:float ->
+  size_bytes:(Proteus_stats.Rng.t -> int) ->
+  from_time:float ->
+  until:float ->
+  label_prefix:string ->
+  Runner.flow list ref
+(** Spawn finite-size flows with exponential interarrival times at the
+    given mean rate. [size_bytes] draws each flow's size. Returns a ref
+    cell that accumulates the spawned flows (it fills in as the
+    simulation runs). A rate of 0 spawns nothing. *)

@@ -1,0 +1,1 @@
+lib/stats/confusion.ml: Array Rng

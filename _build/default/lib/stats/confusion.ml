@@ -1,0 +1,47 @@
+let probability rng ~idle ~congested ~pairs =
+  if Array.length idle = 0 || Array.length congested = 0 || pairs <= 0 then
+    invalid_arg "Confusion.probability: empty input";
+  let hits = ref 0.0 in
+  for _ = 1 to pairs do
+    let a = idle.(Rng.int rng (Array.length idle)) in
+    let b = congested.(Rng.int rng (Array.length congested)) in
+    if b < a then hits := !hits +. 1.0
+    else if b = a then hits := !hits +. 0.5
+  done;
+  !hits /. float_of_int pairs
+
+let probability_exact ~idle ~congested =
+  let ni = Array.length idle and nc = Array.length congested in
+  if ni = 0 || nc = 0 then invalid_arg "Confusion.probability_exact: empty";
+  let si = Array.copy idle and sc = Array.copy congested in
+  Array.sort compare si;
+  Array.sort compare sc;
+  (* For each congested sample b, count idle samples strictly greater than
+     b (confusions) and equal to b (half-confusions) by binary search. *)
+  let lower_bound arr x =
+    (* index of first element >= x *)
+    let lo = ref 0 and hi = ref (Array.length arr) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let upper_bound arr x =
+    let lo = ref 0 and hi = ref (Array.length arr) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let total = ref 0.0 in
+  Array.iter
+    (fun b ->
+      let first_ge = lower_bound si b in
+      let first_gt = upper_bound si b in
+      let greater = ni - first_gt in
+      let equal = first_gt - first_ge in
+      total := !total +. float_of_int greater +. (0.5 *. float_of_int equal))
+    sc;
+  !total /. (float_of_int ni *. float_of_int nc)

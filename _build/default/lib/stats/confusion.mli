@@ -1,0 +1,14 @@
+(** Confusion probability between two sample populations (§4.2 of the
+    paper): across uniformly random pairs of (non-congested, congested)
+    samples, the probability that the metric is {e smaller} in the
+    congested sample — i.e. the probability the metric gets the ordering
+    wrong. A perfect congestion indicator scores 0. *)
+
+val probability :
+  Rng.t -> idle:float array -> congested:float array -> pairs:int -> float
+(** Monte-Carlo estimate over [pairs] random pairs. Ties count as half a
+    confusion, so an uninformative metric scores 0.5. *)
+
+val probability_exact : idle:float array -> congested:float array -> float
+(** Exact value over all |idle|x|congested| pairs (O(n log n) via
+    sorting); preferable when the populations are small enough. *)

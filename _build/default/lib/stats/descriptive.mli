@@ -1,0 +1,30 @@
+(** Descriptive statistics over float samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Population variance (divides by [n]). 0 for singleton samples. *)
+
+val stddev : float array -> float
+(** Population standard deviation, [sqrt (variance x)]. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile xs ~p] with [p] in [\[0,100\]], linear interpolation
+    between order statistics. Does not mutate [xs]. *)
+
+val median : float array -> float
+(** [percentile xs ~p:50.]. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest sample. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)]; 1.0 when all
+    allocations are equal, down to [1/n] when one flow takes all. *)
+
+val cdf_points : float array -> (float * float) list
+(** Empirical CDF as a sorted [(value, fraction <= value)] list. *)
+
+val normalize : float array -> float array
+(** Divide all samples by the maximum; all-zero input is returned as-is. *)

@@ -1,0 +1,39 @@
+type t = { alpha : float; mutable avg : float option }
+
+let create ~alpha =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Ewma.create: alpha";
+  { alpha; avg = None }
+
+let update t x =
+  match t.avg with
+  | None -> t.avg <- Some x
+  | Some a -> t.avg <- Some (((1.0 -. t.alpha) *. a) +. (t.alpha *. x))
+
+let value t = t.avg
+
+let value_exn t =
+  match t.avg with
+  | Some a -> a
+  | None -> invalid_arg "Ewma.value_exn: no samples"
+
+module Mean_dev = struct
+  type nonrec t = {
+    mean : t;
+    dev : t;
+    mutable n : int;
+  }
+
+  let create ?(alpha = 0.125) ?(beta = 0.25) () =
+    { mean = create ~alpha; dev = create ~alpha:beta; n = 0 }
+
+  let update t x =
+    (match t.mean.avg with
+    | None -> ()
+    | Some m -> update t.dev (Float.abs (x -. m)));
+    update t.mean x;
+    t.n <- t.n + 1
+
+  let mean t = value t.mean
+  let deviation t = value t.dev
+  let n_samples t = t.n
+end

@@ -1,0 +1,30 @@
+type t = { mutable data : float array; mutable len : int }
+
+let create ?(capacity = 64) () = { data = Array.make (max 1 capacity) 0.0; len = 0 }
+let length t = t.len
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let ndata = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Fvec.get";
+  t.data.(i)
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let sub_array t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Fvec.sub_array";
+  Array.sub t.data pos len
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)

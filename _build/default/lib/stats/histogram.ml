@@ -1,0 +1,40 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 || hi <= lo then invalid_arg "Histogram.create";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bin_index t x =
+  let bins = Array.length t.counts in
+  let idx =
+    int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins)
+  in
+  max 0 (min (bins - 1) idx)
+
+let add t x =
+  t.counts.(bin_index t x) <- t.counts.(bin_index t x) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let pdf t =
+  let bins = Array.length t.counts in
+  let width = (t.hi -. t.lo) /. float_of_int bins in
+  Array.mapi
+    (fun i c ->
+      let center = t.lo +. ((float_of_int i +. 0.5) *. width) in
+      let p =
+        if t.total = 0 then 0.0
+        else float_of_int c /. float_of_int t.total
+      in
+      (center, p))
+    t.counts
+
+let bin_fraction t x =
+  if t.total = 0 then 0.0
+  else float_of_int t.counts.(bin_index t x) /. float_of_int t.total

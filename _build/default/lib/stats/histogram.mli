@@ -1,0 +1,18 @@
+(** Fixed-width-bin histograms, used to reproduce the probability
+    density plots of Fig. 2. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Histogram over [\[lo, hi)] with [bins] equal-width bins. Samples
+    outside the range are clamped into the first/last bin. *)
+
+val add : t -> float -> unit
+val count : t -> int
+
+val pdf : t -> (float * float) array
+(** [(bin_center, probability)] for each bin; probabilities sum to 1
+    (empty histogram yields all-zero probabilities). *)
+
+val bin_fraction : t -> float -> float
+(** Fraction of samples in the bin that contains the given value. *)

@@ -1,0 +1,27 @@
+type fit = { slope : float; intercept : float; residual_rms : float }
+
+let fit ~x ~y =
+  let n = Array.length x in
+  if n = 0 || Array.length y <> n then
+    invalid_arg "Regression.fit: length mismatch or empty";
+  let nf = float_of_int n in
+  let mx = Array.fold_left ( +. ) 0.0 x /. nf in
+  let my = Array.fold_left ( +. ) 0.0 y /. nf in
+  let sxx = ref 0.0 and sxy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = x.(i) -. mx in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. (y.(i) -. my))
+  done;
+  let slope = if !sxx = 0.0 then 0.0 else !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res = ref 0.0 in
+  for i = 0 to n - 1 do
+    let r = y.(i) -. (intercept +. (slope *. x.(i))) in
+    ss_res := !ss_res +. (r *. r)
+  done;
+  { slope; intercept; residual_rms = sqrt (!ss_res /. nf) }
+
+let slope_of_indexed ys =
+  let x = Array.init (Array.length ys) (fun i -> float_of_int (i + 1)) in
+  (fit ~x ~y:ys).slope

@@ -1,0 +1,28 @@
+type t = { state : Random.State.t; mutable splits : int; seed : int }
+
+let create ~seed = { state = Random.State.make [| seed |]; splits = 0; seed }
+
+let split t =
+  t.splits <- t.splits + 1;
+  (* Mix the parent seed with the split index so child streams are stable
+     under unrelated draws on the parent. *)
+  create ~seed:(t.seed * 1_000_003 + (t.splits * 7919) + 17)
+
+let float t bound = Random.State.float t.state bound
+let int t bound = Random.State.int t.state bound
+let bool t = Random.State.bool t.state
+let bernoulli t ~p = p > 0. && Random.State.float t.state 1.0 < p
+let uniform t ~lo ~hi = lo +. Random.State.float t.state (hi -. lo)
+
+let exponential t ~mean =
+  let u = 1.0 -. Random.State.float t.state 1.0 in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. Random.State.float t.state 1.0 in
+  let u2 = Random.State.float t.state 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let pareto t ~shape ~scale =
+  let u = 1.0 -. Random.State.float t.state 1.0 in
+  scale /. (u ** (1.0 /. shape))

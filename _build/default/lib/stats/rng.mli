@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the simulator draws through an [Rng.t]
+    so that a scenario seed fully determines a run. Child generators
+    derived with {!split} are independent streams, letting components
+    (link loss, noise model, workload generator, ...) evolve without
+    perturbing each other's draws. *)
+
+type t
+(** A random stream. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a stream whose draws are a pure function of
+    [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent child stream. The child's sequence
+    depends only on the parent's seed and the number of prior splits. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)]. [bound > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform draw from [\[lo, hi)]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponential draw with the given mean (e.g. Poisson interarrivals). *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal draw (Box–Muller). *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto draw with minimum [scale]; heavy-tailed spike magnitudes. *)

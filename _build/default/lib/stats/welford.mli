@@ -1,0 +1,22 @@
+(** Single-pass running moments (Welford's algorithm), for metric
+    accumulation where storing every sample would be wasteful. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val n : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Population variance; 0 when fewer than 2 samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val sum : t -> float

@@ -1,0 +1,72 @@
+type mode = Min | Max
+
+(* Monotonic deque on a growable ring buffer: O(1) access to both ends,
+   amortized O(1) per update. (List-based variants degrade to O(window)
+   per update on monotone inputs — e.g. RTTs rising while a queue
+   builds — turning minute-long simulations quadratic.) *)
+type t = {
+  mode : mode;
+  mutable window : float;
+  mutable times : float array;
+  mutable values : float array;
+  mutable head : int; (* index of oldest entry *)
+  mutable len : int;
+}
+
+let initial_capacity = 16
+
+let make mode window =
+  {
+    mode;
+    window;
+    times = Array.make initial_capacity 0.0;
+    values = Array.make initial_capacity 0.0;
+    head = 0;
+    len = 0;
+  }
+
+let create_min ~window = make Min window
+let create_max ~window = make Max window
+
+let capacity t = Array.length t.times
+let idx t i = (t.head + i) mod capacity t
+
+let grow t =
+  let cap = capacity t in
+  let ntimes = Array.make (2 * cap) 0.0 in
+  let nvalues = Array.make (2 * cap) 0.0 in
+  for i = 0 to t.len - 1 do
+    ntimes.(i) <- t.times.(idx t i);
+    nvalues.(i) <- t.values.(idx t i)
+  done;
+  t.times <- ntimes;
+  t.values <- nvalues;
+  t.head <- 0
+
+let dominates t a b = match t.mode with Min -> a <= b | Max -> a >= b
+
+let update t ~now v =
+  (* Expire old entries from the front. *)
+  let cutoff = now -. t.window in
+  while t.len > 0 && t.times.(t.head) < cutoff do
+    t.head <- (t.head + 1) mod capacity t;
+    t.len <- t.len - 1
+  done;
+  (* Remove dominated entries from the back. *)
+  while t.len > 0 && dominates t v t.values.(idx t (t.len - 1)) do
+    t.len <- t.len - 1
+  done;
+  if t.len = capacity t then grow t;
+  let tail = idx t t.len in
+  t.times.(tail) <- now;
+  t.values.(tail) <- v;
+  t.len <- t.len + 1
+
+let get t = if t.len = 0 then None else Some t.values.(t.head)
+
+let get_exn t =
+  match get t with
+  | Some v -> v
+  | None -> invalid_arg "Winfilter.get_exn: no samples"
+
+let set_window t w = t.window <- w

@@ -1,0 +1,21 @@
+(** Windowed extremum filter (monotonic deque): the running minimum or
+    maximum of the samples observed in the trailing time window.
+    Used for BBR's bottleneck-bandwidth max filter and RTprop min
+    filter, and COPA's RTT estimators. O(1) amortized per update. *)
+
+type t
+
+val create_min : window:float -> t
+val create_max : window:float -> t
+
+val update : t -> now:float -> float -> unit
+(** Fold in a sample stamped [now]. Timestamps must be nondecreasing. *)
+
+val get : t -> float option
+(** Current windowed extremum, [None] before any sample. Samples older
+    than [now - window] at the last update are excluded. *)
+
+val get_exn : t -> float
+
+val set_window : t -> float -> unit
+(** Change the window length (takes effect on the next update). *)

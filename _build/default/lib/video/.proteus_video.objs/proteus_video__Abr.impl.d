@@ -1,0 +1,1 @@
+lib/video/abr.ml: Array Bola Queue Video

@@ -1,0 +1,1 @@
+lib/video/bola.ml: Array Float Video

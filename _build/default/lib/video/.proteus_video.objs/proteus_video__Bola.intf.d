@@ -1,0 +1,1 @@
+lib/video/bola.mli: Video

@@ -1,0 +1,1 @@
+lib/video/session.ml: Abr Array Bola Float Option Playback Proteus Proteus_eventsim Proteus_net Threshold_policy Video

@@ -1,0 +1,1 @@
+lib/video/session.mli: Proteus_net Video

@@ -1,0 +1,1 @@
+lib/video/threshold_policy.mli: Video

@@ -1,0 +1,1 @@
+lib/video/video.ml: Array List Printf Proteus_net Proteus_stats

@@ -1,0 +1,73 @@
+type decision =
+  | Download of { level : int; bitrate_mbps : float }
+  | Abstain
+
+type impl =
+  | Wrapped_bola of Bola.t
+  | Throughput of {
+      safety : float;
+      capacity_chunks : float;
+      mutable forced : int option;
+    }
+
+type t = { video : Video.t; impl : impl }
+
+let of_bola bola ~video = { video; impl = Wrapped_bola bola }
+
+let throughput_based ?(safety = 0.9) ~video ~buffer_capacity_chunks () =
+  {
+    video;
+    impl = Throughput { safety; capacity_chunks = buffer_capacity_chunks;
+                        forced = None };
+  }
+
+let force_level t level =
+  match t.impl with
+  | Wrapped_bola b -> Bola.force_level b level
+  | Throughput s -> s.forced <- level
+
+let decide t ~buffer_chunks ~recent_tput_mbps =
+  match t.impl with
+  | Wrapped_bola b -> (
+      match Bola.decide b ~buffer_chunks with
+      | Bola.Download { level; bitrate_mbps } -> Download { level; bitrate_mbps }
+      | Bola.Abstain -> Abstain)
+  | Throughput s ->
+      if buffer_chunks >= s.capacity_chunks -. 1e-9 then Abstain
+      else begin
+        let ladder = t.video.Video.bitrates_mbps in
+        let level =
+          match s.forced with
+          | Some l -> l
+          | None -> (
+              match recent_tput_mbps with
+              | None -> 0
+              | Some tput ->
+                  let budget = s.safety *. tput in
+                  let best = ref 0 in
+                  Array.iteri
+                    (fun i b -> if b <= budget then best := i)
+                    ladder;
+                  !best)
+        in
+        Download { level; bitrate_mbps = ladder.(level) }
+      end
+
+let harmonic_mean_tracker ~window =
+  if window <= 0 then invalid_arg "Abr.harmonic_mean_tracker: window";
+  let samples = Queue.create () in
+  let add x =
+    if x > 0.0 then begin
+      Queue.add x samples;
+      if Queue.length samples > window then ignore (Queue.pop samples)
+    end
+  in
+  let get () =
+    if Queue.is_empty samples then None
+    else begin
+      let n = float_of_int (Queue.length samples) in
+      let inv = Queue.fold (fun acc x -> acc +. (1.0 /. x)) 0.0 samples in
+      Some (n /. inv)
+    end
+  in
+  (add, get)

@@ -1,0 +1,40 @@
+(** Bitrate-adaptation algorithms behind a common interface.
+
+    {!Bola} is the buffer-based algorithm the paper benchmarks; this
+    module adds a throughput-based ABR (dash.js "throughput rule"
+    style: pick the highest rung below a safety fraction of the
+    harmonic-mean measured throughput). The paper explicitly leaves
+    "bitrate adaptation that uses throughput for control" with
+    Proteus-H to future work (§4.4) — {!Session} accepts either
+    algorithm so that combination can be explored. *)
+
+type decision =
+  | Download of { level : int; bitrate_mbps : float }
+  | Abstain  (** Buffer full enough; retry after it drains. *)
+
+type t
+(** An ABR instance bound to one video. *)
+
+val decide :
+  t -> buffer_chunks:float -> recent_tput_mbps:float option -> decision
+(** [recent_tput_mbps] is the client's current throughput estimate
+    ([None] before any chunk completes). Buffer-based algorithms ignore
+    it; throughput-based ones ignore the buffer except for abstention. *)
+
+val force_level : t -> int option -> unit
+(** Pin to a rung (Fig. 13's forced-highest mode); [None] re-enables
+    adaptation. *)
+
+val of_bola : Bola.t -> video:Video.t -> t
+(** Wrap a BOLA instance. *)
+
+val throughput_based :
+  ?safety:float -> video:Video.t -> buffer_capacity_chunks:float -> unit -> t
+(** dash.js-style throughput rule: highest bitrate under
+    [safety * throughput-estimate] (default safety 0.9), lowest rung
+    when no estimate yet; abstains when the buffer is full. The caller
+    feeds the estimate via [decide]'s [recent_tput_mbps]. *)
+
+val harmonic_mean_tracker : window:int -> (float -> unit) * (unit -> float option)
+(** [(add, get)] over the last [window] per-chunk throughput samples —
+    the standard dash.js estimator; harmonic weighting punishes dips. *)

@@ -1,0 +1,49 @@
+type t = {
+  video : Video.t;
+  gp : float;
+  v : float;
+  utilities : float array;
+  mutable forced : int option;
+}
+
+let create ?(gp = 5.0) ~video ~buffer_capacity_chunks () =
+  let sizes =
+    Array.map
+      (fun b -> float_of_int (Video.chunk_bytes video ~bitrate_mbps:b))
+      video.Video.bitrates_mbps
+  in
+  let utilities = Array.map (fun s -> log (s /. sizes.(0))) sizes in
+  let v_max = utilities.(Array.length utilities - 1) in
+  (* Choose V so the highest bitrate's score crosses zero as the buffer
+     approaches capacity: V * (v_max + gp) = Q_max. *)
+  let v = Float.max 0.1 ((buffer_capacity_chunks -. 1.0) /. (v_max +. gp)) in
+  { video; gp; v; utilities; forced = None }
+
+type decision =
+  | Download of { level : int; bitrate_mbps : float }
+  | Abstain
+
+let decide t ~buffer_chunks =
+  match t.forced with
+  | Some level ->
+      Download { level; bitrate_mbps = t.video.Video.bitrates_mbps.(level) }
+  | None ->
+      let best = ref None in
+      Array.iteri
+        (fun m v_m ->
+          let size =
+            float_of_int
+              (Video.chunk_bytes t.video
+                 ~bitrate_mbps:t.video.Video.bitrates_mbps.(m))
+          in
+          let score = ((t.v *. (v_m +. t.gp)) -. buffer_chunks) /. size in
+          match !best with
+          | Some (_, s) when s >= score -> ()
+          | _ -> best := Some (m, score))
+        t.utilities;
+      (match !best with
+      | Some (m, score) when score > 0.0 ->
+          Download { level = m; bitrate_mbps = t.video.Video.bitrates_mbps.(m) }
+      | _ -> Abstain)
+
+let force_level t level = t.forced <- level

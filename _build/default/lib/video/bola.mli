@@ -1,0 +1,26 @@
+(** BOLA bitrate adaptation (Spiteri, Urgaonkar & Sitaraman, INFOCOM
+    2016) — the buffer-based ABR algorithm the paper's emulated DASH
+    receiver runs (BOLA-BASIC, as in dash.js).
+
+    Each chunk boundary, BOLA picks the bitrate maximizing
+    [(V * (v_m + gp) - Q) / S_m] where [v_m = ln(S_m / S_1)] is the
+    utility of bitrate [m], [Q] the playback-buffer level in chunks,
+    [S_m] the chunk size, and [V], [gp] are derived from the buffer
+    capacity so the lowest bitrate is picked near-empty and the highest
+    near-full. When every score is negative the buffer is long enough:
+    BOLA abstains (no download) until it drains. *)
+
+type t
+
+val create : ?gp:float -> video:Video.t -> buffer_capacity_chunks:float -> unit -> t
+(** [gp] defaults to 5.0 (dimensionless utility offset). *)
+
+type decision =
+  | Download of { level : int; bitrate_mbps : float }
+  | Abstain  (** Buffer high enough; re-evaluate after it drains. *)
+
+val decide : t -> buffer_chunks:float -> decision
+
+val force_level : t -> int option -> unit
+(** Pin the decision to a ladder level (paper Fig. 13 forces the
+    highest bitrate); [None] restores adaptation. *)

@@ -1,0 +1,55 @@
+type t = {
+  capacity : float;
+  mutable buffer : float; (* buffered seconds *)
+  mutable last_update : float;
+  mutable started : bool;
+  mutable stalled : bool;
+  mutable rebuffer : float;
+  mutable played : float;
+}
+
+let create ~capacity_seconds () =
+  {
+    capacity = capacity_seconds;
+    buffer = 0.0;
+    last_update = 0.0;
+    started = false;
+    stalled = false;
+    rebuffer = 0.0;
+    played = 0.0;
+  }
+
+let update t ~now =
+  let dt = Float.max 0.0 (now -. t.last_update) in
+  t.last_update <- now;
+  if t.started then begin
+    if t.stalled then t.rebuffer <- t.rebuffer +. dt
+    else if dt >= t.buffer then begin
+      (* Buffer ran dry partway through the interval. *)
+      t.played <- t.played +. t.buffer;
+      t.rebuffer <- t.rebuffer +. (dt -. t.buffer);
+      t.buffer <- 0.0;
+      t.stalled <- true
+    end
+    else begin
+      t.buffer <- t.buffer -. dt;
+      t.played <- t.played +. dt
+    end
+  end
+
+let add_chunk t ~now ~seconds =
+  update t ~now;
+  t.buffer <- Float.min t.capacity (t.buffer +. seconds);
+  t.started <- true;
+  if t.stalled && t.buffer > 0.0 then t.stalled <- false
+
+let buffer_seconds t = t.buffer
+let free_seconds t = Float.max 0.0 (t.capacity -. t.buffer)
+let is_stalled t = t.stalled
+let started t = t.started
+let rebuffer_time t = t.rebuffer
+let play_time t = t.played
+
+let rebuffer_ratio t =
+  let total = t.rebuffer +. t.played in
+  if total <= 0.0 then 0.0 else t.rebuffer /. total

@@ -1,0 +1,30 @@
+(** Playback-buffer simulation: consumes buffered seconds in real time,
+    stalls (rebuffers) when the buffer empties, resumes when the next
+    chunk lands. Updated lazily — call {!update} with the current
+    simulation time before reading state or adding chunks. *)
+
+type t
+
+val create : capacity_seconds:float -> unit -> t
+
+val update : t -> now:float -> unit
+(** Advance playback to [now]. *)
+
+val add_chunk : t -> now:float -> seconds:float -> unit
+(** A chunk finished downloading. Implicitly updates to [now]. Playback
+    starts/resumes as soon as at least one chunk is buffered. *)
+
+val buffer_seconds : t -> float
+val free_seconds : t -> float
+val is_stalled : t -> bool
+(** True when playback has started but the buffer is empty. *)
+
+val started : t -> bool
+val rebuffer_time : t -> float
+(** Total stalled seconds after initial startup. *)
+
+val play_time : t -> float
+(** Total seconds of video actually played. *)
+
+val rebuffer_ratio : t -> float
+(** [rebuffer / (rebuffer + played)]; 0 before playback starts. *)

@@ -1,0 +1,212 @@
+module Runner = Proteus_net.Runner
+module Sim = Proteus_eventsim.Sim
+
+type transport = Plain of Proteus_net.Sender.factory | Hybrid
+
+type abr_kind = Bola_abr | Throughput_abr
+
+type t = {
+  runner : Runner.t;
+  video : Video.t;
+  abr : Abr.t;
+  tput_add : float -> unit;
+  tput_get : unit -> float option;
+  mutable chunk_started_at : float;
+  playback : Playback.t;
+  policy : Threshold_policy.t option;
+  mutable flow : Runner.flow option;
+  mutable chunk_bytes_left : int;
+  mutable current_bitrate : float;
+  mutable chunks_downloaded : int;
+  mutable bitrate_sum : float;
+  mutable switches : int;
+  mutable last_level : int option;
+  mutable awaiting_request : bool;
+  mutable was_stalled : bool;
+  mutable finished : bool;
+}
+
+let buffer_chunks t =
+  Playback.buffer_seconds t.playback /. t.video.Video.chunk_duration
+
+let free_chunks t =
+  Playback.free_seconds t.playback /. t.video.Video.chunk_duration
+
+let check_stall_transition t =
+  let stalled = Playback.is_stalled t.playback in
+  (match (t.was_stalled, stalled, t.policy) with
+  | false, true, Some p -> Threshold_policy.on_rebuffer_start p
+  | true, false, Some p ->
+      Threshold_policy.on_rebuffer_end p
+        ~current_bitrate_mbps:t.current_bitrate ~free_chunks:(free_chunks t)
+  | _ -> ());
+  t.was_stalled <- stalled
+
+let the_flow t = Option.get t.flow
+
+let rec request_next_chunk t ~now =
+  Playback.update t.playback ~now;
+  check_stall_transition t;
+  if t.chunks_downloaded >= t.video.Video.n_chunks then begin
+    t.finished <- true;
+    Runner.pause t.runner (the_flow t)
+  end
+  else begin
+    let free = free_chunks t in
+    if free < 1.0 then begin
+      (* Buffer full: hold the request until a chunk's worth drains.
+         Floor the delay — as [free] approaches 1.0 the exact drain
+         time shrinks to rounding error and would busy-loop the
+         simulation on microscopic timesteps. *)
+      Runner.pause t.runner (the_flow t);
+      t.awaiting_request <- true;
+      Sim.after (Runner.sim t.runner)
+        ~delay:
+          (Float.max 0.05
+             (((1.0 -. free) *. t.video.Video.chunk_duration) +. 0.001))
+        (fun () -> retry_request t)
+    end
+    else begin
+      match
+        Abr.decide t.abr ~buffer_chunks:(buffer_chunks t)
+          ~recent_tput_mbps:(t.tput_get ())
+      with
+      | Abr.Abstain ->
+          Runner.pause t.runner (the_flow t);
+          t.awaiting_request <- true;
+          Sim.after (Runner.sim t.runner) ~delay:t.video.Video.chunk_duration
+            (fun () -> retry_request t)
+      | Abr.Download { level; bitrate_mbps } ->
+          (match t.last_level with
+          | Some l when l <> level -> t.switches <- t.switches + 1
+          | _ -> ());
+          t.last_level <- Some level;
+          t.current_bitrate <- bitrate_mbps;
+          t.chunk_bytes_left <- Video.chunk_bytes t.video ~bitrate_mbps;
+          t.chunk_started_at <- Sim.now (Runner.sim t.runner);
+          (match t.policy with
+          | Some p ->
+              Threshold_policy.on_chunk_request p
+                ~current_bitrate_mbps:bitrate_mbps ~free_chunks:free
+          | None -> ());
+          Runner.resume t.runner (the_flow t)
+    end
+  end
+
+and retry_request t =
+  if t.awaiting_request && not t.finished then begin
+    t.awaiting_request <- false;
+    request_next_chunk t ~now:(Sim.now (Runner.sim t.runner))
+  end
+
+let on_bytes t ~now n =
+  if not t.finished && t.chunk_bytes_left > 0 then begin
+    t.chunk_bytes_left <- t.chunk_bytes_left - n;
+    Playback.update t.playback ~now;
+    check_stall_transition t;
+    if t.chunk_bytes_left <= 0 then begin
+      Playback.add_chunk t.playback ~now ~seconds:t.video.Video.chunk_duration;
+      check_stall_transition t;
+      t.chunks_downloaded <- t.chunks_downloaded + 1;
+      t.bitrate_sum <- t.bitrate_sum +. t.current_bitrate;
+      (* Per-chunk throughput sample for throughput-based ABR. *)
+      let elapsed = now -. t.chunk_started_at in
+      (if elapsed > 0.0 then
+         let bytes =
+           float_of_int (Video.chunk_bytes t.video ~bitrate_mbps:t.current_bitrate)
+         in
+         t.tput_add (Proteus_net.Units.bytes_per_sec_to_mbps (bytes /. elapsed)));
+      request_next_chunk t ~now
+    end
+  end
+
+let tick_period = 0.5
+
+let start ?(buffer_capacity_seconds = 12.0) ?(force_highest = false)
+    ?(startup_offset = 0.0) ?(abr = Bola_abr) runner ~video ~transport =
+  let capacity_chunks = buffer_capacity_seconds /. video.Video.chunk_duration in
+  let abr =
+    match abr with
+    | Bola_abr ->
+        Abr.of_bola ~video
+          (Bola.create ~video ~buffer_capacity_chunks:capacity_chunks ())
+    | Throughput_abr ->
+        Abr.throughput_based ~video ~buffer_capacity_chunks:capacity_chunks ()
+  in
+  if force_highest then
+    Abr.force_level abr (Some (Array.length video.Video.bitrates_mbps - 1));
+  let tput_add, tput_get = Abr.harmonic_mean_tracker ~window:3 in
+  let threshold_mbps = ref infinity in
+  let factory, policy =
+    match transport with
+    | Plain f -> (f, None)
+    | Hybrid ->
+        ( Proteus.Presets.proteus_h ~threshold_mbps,
+          Some (Threshold_policy.create ~video ~threshold_mbps ()) )
+  in
+  let t =
+    {
+      runner;
+      video;
+      abr;
+      tput_add;
+      tput_get;
+      chunk_started_at = startup_offset;
+      playback = Playback.create ~capacity_seconds:buffer_capacity_seconds ();
+      policy;
+      flow = None;
+      chunk_bytes_left = 0;
+      current_bitrate = 0.0;
+      chunks_downloaded = 0;
+      bitrate_sum = 0.0;
+      switches = 0;
+      last_level = None;
+      awaiting_request = false;
+      was_stalled = false;
+      finished = false;
+    }
+  in
+  let flow =
+    Runner.add_flow runner ~start:startup_offset
+      ~label:("video:" ^ video.Video.name) ~factory
+      ~on_ack_bytes:(fun ~now n -> on_bytes t ~now n)
+  in
+  t.flow <- Some flow;
+  (* Kick off the first request once the simulation reaches the start
+     offset, and tick periodically so stalls are detected even when the
+     transport delivers nothing. *)
+  Sim.at (Runner.sim runner) ~time:startup_offset (fun () ->
+      request_next_chunk t ~now:(Sim.now (Runner.sim runner)));
+  let rec tick () =
+    if not t.finished then begin
+      Playback.update t.playback ~now:(Sim.now (Runner.sim runner));
+      check_stall_transition t;
+      Sim.after (Runner.sim runner) ~delay:tick_period tick
+    end
+  in
+  Sim.after (Runner.sim runner) ~delay:(startup_offset +. tick_period) tick;
+  t
+
+type report = {
+  avg_chunk_bitrate_mbps : float;
+  rebuffer_ratio : float;
+  rebuffer_seconds : float;
+  chunks_downloaded : int;
+  bitrate_switches : int;
+  video_name : string;
+}
+
+let report t ~now =
+  Playback.update t.playback ~now;
+  {
+    avg_chunk_bitrate_mbps =
+      (if t.chunks_downloaded = 0 then 0.0
+       else t.bitrate_sum /. float_of_int t.chunks_downloaded);
+    rebuffer_ratio = Playback.rebuffer_ratio t.playback;
+    rebuffer_seconds = Playback.rebuffer_time t.playback;
+    chunks_downloaded = t.chunks_downloaded;
+    bitrate_switches = t.switches;
+    video_name = t.video.Video.name;
+  }
+
+let flow t = the_flow t

@@ -1,0 +1,50 @@
+(** An adaptive-streaming session over a simulated transport flow: the
+    emulated dash.js client of §6 (BOLA agent, playback buffer,
+    side-channel signalling of pause/resume and — for Proteus-H — of the
+    switching threshold). *)
+
+type transport =
+  | Plain of Proteus_net.Sender.factory
+      (** Any congestion controller (the video of Fig. 11a/12's
+          Proteus-P arm, or CUBIC for the DASH-over-TCP baseline). *)
+  | Hybrid
+      (** Proteus-H with the {!Threshold_policy} driving its switching
+          threshold. *)
+
+type t
+
+type abr_kind =
+  | Bola_abr  (** The paper's BOLA agent (default). *)
+  | Throughput_abr
+      (** dash.js-style throughput rule over a harmonic-mean estimate
+          of per-chunk throughput — the "adaptation that uses
+          throughput for control" the paper leaves to future work. *)
+
+val start :
+  ?buffer_capacity_seconds:float ->
+  ?force_highest:bool ->
+  ?startup_offset:float ->
+  ?abr:abr_kind ->
+  Proteus_net.Runner.t ->
+  video:Video.t ->
+  transport:transport ->
+  t
+(** Begin streaming. [buffer_capacity_seconds] defaults to 12 s (4
+    chunks); [force_highest] pins the ABR to the top rung (Fig. 13);
+    [abr] selects the adaptation algorithm (default BOLA). *)
+
+type report = {
+  avg_chunk_bitrate_mbps : float;
+      (** Mean bitrate over downloaded chunks (paper's "average video
+          chunk bitrate"). *)
+  rebuffer_ratio : float;
+  rebuffer_seconds : float;
+  chunks_downloaded : int;
+  bitrate_switches : int;
+  video_name : string;
+}
+
+val report : t -> now:float -> report
+(** Snapshot after advancing playback to [now]. *)
+
+val flow : t -> Proteus_net.Runner.flow

@@ -1,0 +1,31 @@
+type t = {
+  g : float;
+  video : Video.t;
+  threshold_mbps : float ref;
+  mutable in_emergency : bool;
+}
+
+let create ?(g = 1.5) ~video ~threshold_mbps () =
+  threshold_mbps := g *. Video.max_bitrate video;
+  { g; video; threshold_mbps; in_emergency = false }
+
+let apply_rules t ~current_bitrate_mbps ~free_chunks =
+  let sufficient_rate = t.g *. Video.max_bitrate t.video in
+  let buffer_limit =
+    if free_chunks < 2.0 then current_bitrate_mbps /. (2.0 -. free_chunks)
+    else infinity
+  in
+  t.threshold_mbps := Float.min sufficient_rate buffer_limit
+
+let on_chunk_request t ~current_bitrate_mbps ~free_chunks =
+  if not t.in_emergency then apply_rules t ~current_bitrate_mbps ~free_chunks
+
+let on_rebuffer_start t =
+  t.in_emergency <- true;
+  t.threshold_mbps := infinity
+
+let on_rebuffer_end t ~current_bitrate_mbps ~free_chunks =
+  t.in_emergency <- false;
+  apply_rules t ~current_bitrate_mbps ~free_chunks
+
+let threshold t = !(t.threshold_mbps)

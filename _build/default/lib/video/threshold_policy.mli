@@ -1,0 +1,26 @@
+(** Cross-layer switching-threshold policy for Proteus-H (§4.4).
+
+    The application dynamically sets the hybrid utility's threshold to
+    the maximum value satisfying:
+
+    + {e Sufficient rate}: threshold <= G * max bitrate (G = 1.5,
+      margin against rebuffering);
+    + {e Buffer limit}: threshold <= bitrate_current / (2 - f) when the
+      free buffer space [f] (in chunks) is below 2, checked on each
+      chunk request — a nearly full buffer needs no urgency;
+    + {e Emergency}: during a rebuffer stall the threshold is infinite
+      (pure primary mode) until playback resumes. *)
+
+type t
+
+val create : ?g:float -> video:Video.t -> threshold_mbps:float ref -> unit -> t
+(** [g] defaults to 1.5. The policy writes through [threshold_mbps],
+    the same ref the {!Proteus.Utility.proteus_h} utility reads. *)
+
+val on_chunk_request :
+  t -> current_bitrate_mbps:float -> free_chunks:float -> unit
+(** Re-evaluate rules 1–2 when the client requests a chunk. *)
+
+val on_rebuffer_start : t -> unit
+val on_rebuffer_end : t -> current_bitrate_mbps:float -> free_chunks:float -> unit
+val threshold : t -> float

@@ -1,0 +1,1 @@
+lib/web/load_test.ml: Array List Page Printf Proteus_eventsim Proteus_net Proteus_stats

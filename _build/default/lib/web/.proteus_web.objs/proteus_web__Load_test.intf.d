@@ -1,0 +1,1 @@
+lib/web/load_test.mli: Page Proteus_net

@@ -1,0 +1,1 @@
+lib/web/page.ml: Float List Printf Proteus_stats

@@ -1,0 +1,79 @@
+module Runner = Proteus_net.Runner
+module Sim = Proteus_eventsim.Sim
+module Rng = Proteus_stats.Rng
+
+type result = {
+  page : Page.t;
+  start_time : float;
+  load_time : float option;
+}
+
+(* Browser-style fetch model: the HTML document first (a small object),
+   then the remaining resources in waves of [concurrency] parallel
+   connections — each wave gated on the previous one, which is what
+   makes real page loads round-trip-bound rather than
+   bandwidth-bound. *)
+let concurrency = 6
+
+let start_page runner ~factory ~page ~(finished : now:float -> unit) =
+  let total = page.Page.bytes in
+  let html_bytes = max 2000 (total / 20) in
+  let rest = max 0 (total - html_bytes) in
+  let n_rest = max 0 (page.Page.objects - 1) in
+  let object_bytes = if n_rest = 0 then 0 else max 400 (rest / n_rest) in
+  let outstanding = ref 0 in
+  let remaining_objects = ref n_rest in
+  let rec launch_wave ~now:_ =
+    if !remaining_objects = 0 && !outstanding = 0 then ()
+    else begin
+      let batch = min concurrency !remaining_objects in
+      remaining_objects := !remaining_objects - batch;
+      outstanding := batch;
+      for i = 1 to batch do
+        ignore
+          (Runner.add_flow runner
+             ~label:(Printf.sprintf "%s/obj%d" page.Page.name i)
+             ~factory ~size_bytes:object_bytes
+             ~on_complete:(fun ~now ->
+               decr outstanding;
+               if !outstanding = 0 then
+                 if !remaining_objects > 0 then launch_wave ~now
+                 else finished ~now))
+      done
+    end
+  in
+  ignore
+    (Runner.add_flow runner
+       ~label:(page.Page.name ^ "/html")
+       ~factory ~size_bytes:html_bytes
+       ~on_complete:(fun ~now ->
+         if n_rest = 0 then finished ~now else launch_wave ~now))
+
+let run runner ~pages ~factory ~request_rate_per_sec ~from_time ~until =
+  let results = ref [] in
+  let pages_arr = Array.of_list pages in
+  if Array.length pages_arr = 0 then invalid_arg "Load_test.run: no pages";
+  let rng = Rng.split (Runner.rng runner) in
+  let sim = Runner.sim runner in
+  let rec arrival time =
+    if time < until then
+      Sim.at sim ~time (fun () ->
+          let page = pages_arr.(Rng.int rng (Array.length pages_arr)) in
+          let start_time = Sim.now sim in
+          let cell = ref { page; start_time; load_time = None } in
+          results := cell :: !results;
+          start_page runner ~factory ~page ~finished:(fun ~now ->
+              cell := { !cell with load_time = Some (now -. start_time) });
+          arrival (time +. Rng.exponential rng ~mean:(1.0 /. request_rate_per_sec)))
+  in
+  if request_rate_per_sec > 0.0 then
+    arrival (from_time +. Rng.exponential rng ~mean:(1.0 /. request_rate_per_sec));
+  (* Present the cells as plain results on read. *)
+  let view = ref [] in
+  Sim.at sim ~time:until (fun () -> view := List.map (fun c -> !c) !results);
+  view
+
+let load_times results =
+  results
+  |> List.filter_map (fun r -> r.load_time)
+  |> Array.of_list

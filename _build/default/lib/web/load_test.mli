@@ -1,0 +1,27 @@
+(** Web page-load benchmark (Fig. 11b): pages requested at Poisson times
+    over a primary transport, optionally with a background scavenger on
+    the same bottleneck; the metric is the page-load-time distribution. *)
+
+type result = {
+  page : Page.t;
+  start_time : float;
+  load_time : float option;  (** [None] if unfinished at the horizon. *)
+}
+
+val run :
+  Proteus_net.Runner.t ->
+  pages:Page.t list ->
+  factory:Proteus_net.Sender.factory ->
+  request_rate_per_sec:float ->
+  from_time:float ->
+  until:float ->
+  result list ref
+(** Schedule Poisson page requests (pages chosen uniformly from the
+    corpus). Each page loads browser-style: the HTML document first,
+    then the remaining objects in waves of 6 parallel connections, so
+    load time is round-trip-bound like a real page (multi-second on
+    typical links) rather than a single bulk transfer. The returned
+    cell fills in as the simulation runs; read it after [Runner.run]. *)
+
+val load_times : result list -> float array
+(** Completed loads only. *)

@@ -1,0 +1,17 @@
+module Rng = Proteus_stats.Rng
+
+type t = { name : string; bytes : int; objects : int }
+
+let corpus ?(seed = 7) ~n () =
+  let rng = Rng.create ~seed in
+  List.init n (fun i ->
+      (* Lognormal around 1.5 MB, clamped to [200 KB, 8 MB]; object
+         counts in the 15-80 range typical of popular pages. *)
+      let z = Rng.gaussian rng ~mu:0.0 ~sigma:0.6 in
+      let bytes = 1.5e6 *. exp z in
+      let bytes = Float.min 8e6 (Float.max 2e5 bytes) in
+      let objects = 15 + Rng.int rng 66 in
+      { name = Printf.sprintf "page-%02d" i; bytes = int_of_float bytes;
+        objects })
+
+let total_bytes pages = List.fold_left (fun acc p -> acc + p.bytes) 0 pages

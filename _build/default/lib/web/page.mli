@@ -1,0 +1,17 @@
+(** Synthetic web-page corpus standing in for the paper's "top 30 sites
+    in United States from Alexa.com": per-page transfer sizes drawn from
+    a lognormal fit of popular-page weights (median ~1.5 MB, tail to
+    several MB). *)
+
+type t = {
+  name : string;
+  bytes : int;  (** Total transfer size across all objects. *)
+  objects : int;  (** Number of fetched resources (HTML, CSS, images...).
+                      Real page loads are round-trip-bound: objects are
+                      fetched in dependency waves, not as one stream. *)
+}
+
+val corpus : ?seed:int -> n:int -> unit -> t list
+(** Deterministic corpus of [n] pages. *)
+
+val total_bytes : t list -> int

@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Float Flow_stats Fun Link List Proteus_cc Proteus_net Proteus_stats Runner Sender Units

@@ -1,0 +1,1 @@
+test/test_controller_unit.ml: Alcotest Controller Float Proteus Proteus_eventsim Proteus_net Proteus_stats Utility

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Float Proteus Proteus_cc Proteus_net Proteus_stats Proteus_video

@@ -1,0 +1,1 @@
+test/test_equilibrium.ml: Alcotest Equilibrium Float List Proteus QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest Float Gen Heap List Option Proteus_eventsim QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Float Flow_stats Link List Noise Option Proteus_cc Proteus_net Proteus_stats Runner Units Workload

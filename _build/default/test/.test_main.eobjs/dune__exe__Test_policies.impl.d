@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Controller Deadline_policy Float Mi Option Presets Proteus Proteus_cc Proteus_net Utility

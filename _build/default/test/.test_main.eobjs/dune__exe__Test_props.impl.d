@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Float Gen List Option Proteus Proteus_cc Proteus_net Proteus_stats Proteus_video QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_proteus.ml: Ack_filter Alcotest Controller Float List Mi Option Presets Proteus Proteus_cc Proteus_net Proteus_stats Tolerance Utility

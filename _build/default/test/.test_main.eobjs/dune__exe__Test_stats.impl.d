@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Confusion Descriptive Ewma Float Fvec Gen Histogram List Option Printf Proteus_stats QCheck QCheck_alcotest Regression Rng String Welford Winfilter

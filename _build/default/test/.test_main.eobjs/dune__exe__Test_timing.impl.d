@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Float List Option Printf Proteus_cc Proteus_net Proteus_stats

@@ -1,0 +1,1 @@
+test/test_video.ml: Abr Alcotest Array Bola Float List Option Playback Proteus_cc Proteus_net Proteus_video Session Threshold_policy Video

@@ -1,0 +1,1 @@
+test/test_web.ml: Alcotest Array List Load_test Page Proteus_cc Proteus_net Proteus_stats Proteus_web

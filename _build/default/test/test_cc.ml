@@ -1,0 +1,437 @@
+(* Tests for the baseline congestion controllers. Unit tests drive the
+   Sender.S callbacks directly; integration tests run flows through the
+   simulator. *)
+
+open Proteus_net
+module Cc = Proteus_cc
+
+let env () = { Sender.rng = Proteus_stats.Rng.create ~seed:1; mtu = 1500 }
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ---------- CUBIC unit ---------- *)
+
+let test_cubic_slow_start_growth () =
+  let c = Cc.Cubic.create (env ()) in
+  let w0 = Cc.Cubic.cwnd_packets c in
+  for seq = 0 to 9 do
+    Cc.Cubic.on_sent c ~now:0.0 ~seq ~size:1500;
+    Cc.Cubic.on_ack c ~now:0.05 ~seq ~send_time:0.0 ~size:1500 ~rtt:0.05
+  done;
+  check_float "ss +1 per ack" (w0 +. 10.0) (Cc.Cubic.cwnd_packets c)
+
+let test_cubic_loss_halves_ish () =
+  let c = Cc.Cubic.create (env ()) in
+  for seq = 0 to 19 do
+    Cc.Cubic.on_sent c ~now:0.0 ~seq ~size:1500;
+    Cc.Cubic.on_ack c ~now:0.05 ~seq ~send_time:0.0 ~size:1500 ~rtt:0.05
+  done;
+  let before = Cc.Cubic.cwnd_packets c in
+  Cc.Cubic.on_sent c ~now:0.1 ~seq:20 ~size:1500;
+  Cc.Cubic.on_loss c ~now:0.1 ~seq:20 ~send_time:0.1 ~size:1500;
+  check_float ~eps:1e-6 "beta reduction" (before *. 0.7)
+    (Cc.Cubic.cwnd_packets c)
+
+let test_cubic_one_reduction_per_rtt () =
+  let c = Cc.Cubic.create (env ()) in
+  for seq = 0 to 19 do
+    Cc.Cubic.on_sent c ~now:0.0 ~seq ~size:1500;
+    Cc.Cubic.on_ack c ~now:0.05 ~seq ~send_time:0.0 ~size:1500 ~rtt:0.05
+  done;
+  let before = Cc.Cubic.cwnd_packets c in
+  (* Burst of losses within one RTT: only one decrease. *)
+  for seq = 20 to 25 do
+    Cc.Cubic.on_sent c ~now:0.1 ~seq ~size:1500;
+    Cc.Cubic.on_loss c ~now:0.1001 ~seq ~send_time:0.1 ~size:1500
+  done;
+  check_float ~eps:1e-6 "single halving" (before *. 0.7)
+    (Cc.Cubic.cwnd_packets c)
+
+let test_cubic_blocks_at_window () =
+  let c = Cc.Cubic.create (env ()) in
+  let sent = ref 0 in
+  let rec send seq =
+    match Cc.Cubic.next_send c ~now:0.0 with
+    | `Now ->
+        Cc.Cubic.on_sent c ~now:0.0 ~seq ~size:1500;
+        incr sent;
+        if seq < 100 then send (seq + 1)
+    | `Blocked -> ()
+    | `At _ -> Alcotest.fail "cubic should not pace"
+  in
+  send 0;
+  Alcotest.(check int) "initial window" 10 !sent
+
+(* ---------- LEDBAT unit ---------- *)
+
+let test_ledbat_ramps_below_target () =
+  let l = Cc.Ledbat.create (env ()) in
+  let w0 = Cc.Ledbat.cwnd_packets l in
+  (* Constant low RTT: queuing delay 0, off_target 1, cwnd grows. *)
+  for seq = 0 to 49 do
+    Cc.Ledbat.on_sent l ~now:(float_of_int seq *. 0.01) ~seq ~size:1500;
+    Cc.Ledbat.on_ack l
+      ~now:((float_of_int seq *. 0.01) +. 0.02)
+      ~seq ~send_time:0.0 ~size:1500 ~rtt:0.02
+  done;
+  if Cc.Ledbat.cwnd_packets l <= w0 then Alcotest.fail "no ramp below target"
+
+let test_ledbat_backs_off_above_target () =
+  let l = Cc.Ledbat.create (env ()) in
+  (* Establish base delay of 20 ms, then ram delay up to 200 ms: above
+     the 100 ms target, the window must shrink. *)
+  for seq = 0 to 19 do
+    Cc.Ledbat.on_sent l ~now:(float_of_int seq *. 0.01) ~seq ~size:1500;
+    Cc.Ledbat.on_ack l
+      ~now:((float_of_int seq *. 0.01) +. 0.02)
+      ~seq ~send_time:0.0 ~size:1500 ~rtt:0.02
+  done;
+  let peak = Cc.Ledbat.cwnd_packets l in
+  for seq = 20 to 59 do
+    Cc.Ledbat.on_sent l ~now:(float_of_int seq *. 0.01) ~seq ~size:1500;
+    Cc.Ledbat.on_ack l
+      ~now:((float_of_int seq *. 0.01) +. 0.2)
+      ~seq ~send_time:0.0 ~size:1500 ~rtt:0.2
+  done;
+  if Cc.Ledbat.cwnd_packets l >= peak then
+    Alcotest.failf "no backoff above target: %.2f >= %.2f"
+      (Cc.Ledbat.cwnd_packets l) peak
+
+let test_ledbat_base_delay_tracks_min () =
+  let l = Cc.Ledbat.create (env ()) in
+  Cc.Ledbat.on_sent l ~now:0.0 ~seq:0 ~size:1500;
+  Cc.Ledbat.on_ack l ~now:0.1 ~seq:0 ~send_time:0.0 ~size:1500 ~rtt:0.1;
+  check_float "base = first" 0.1 (Cc.Ledbat.base_delay l);
+  Cc.Ledbat.on_sent l ~now:0.2 ~seq:1 ~size:1500;
+  Cc.Ledbat.on_ack l ~now:0.23 ~seq:1 ~send_time:0.2 ~size:1500 ~rtt:0.03;
+  check_float "base tracks min" 0.03 (Cc.Ledbat.base_delay l)
+
+let test_ledbat_latecomer_sees_inflated_base () =
+  (* A sender that never observes the empty queue keeps an inflated
+     base-delay estimate — the root of the latecomer advantage. *)
+  let l = Cc.Ledbat.create (env ()) in
+  for seq = 0 to 9 do
+    Cc.Ledbat.on_sent l ~now:(float_of_int seq) ~seq ~size:1500;
+    Cc.Ledbat.on_ack l ~now:(float_of_int seq +. 0.13) ~seq ~send_time:0.0
+      ~size:1500 ~rtt:0.13
+  done;
+  check_float "inflated base" 0.13 (Cc.Ledbat.base_delay l)
+
+let test_ledbat_loss_halves () =
+  let l = Cc.Ledbat.create (env ()) in
+  for seq = 0 to 49 do
+    Cc.Ledbat.on_sent l ~now:(float_of_int seq *. 0.01) ~seq ~size:1500;
+    Cc.Ledbat.on_ack l
+      ~now:((float_of_int seq *. 0.01) +. 0.02)
+      ~seq ~send_time:0.0 ~size:1500 ~rtt:0.02
+  done;
+  let before = Cc.Ledbat.cwnd_packets l in
+  Cc.Ledbat.on_sent l ~now:1.0 ~seq:50 ~size:1500;
+  Cc.Ledbat.on_loss l ~now:1.0 ~seq:50 ~send_time:1.0 ~size:1500;
+  check_float ~eps:1e-6 "halved" (before /. 2.0) (Cc.Ledbat.cwnd_packets l)
+
+let test_ledbat_name_carries_target () =
+  let l100 = Cc.Ledbat.create (env ()) in
+  let l25 = Cc.Ledbat.create ~params:Cc.Ledbat.draft_25ms (env ()) in
+  Alcotest.(check string) "100ms" "ledbat-100" (Cc.Ledbat.name l100);
+  Alcotest.(check string) "25ms" "ledbat-25" (Cc.Ledbat.name l25)
+
+(* ---------- BBR unit ---------- *)
+
+let test_bbr_estimates_on_clean_link () =
+  let b = Cc.Bbr.create (env ()) in
+  (* Feed a steady 10 Mbps ack stream at 20 ms RTT, with sends and ACKs
+     interleaved in true time order (a ~17-packet pipeline), so the
+     delivery-rate samples measure the stream, not a 1-packet window. *)
+  let dt = 0.0012 (* 1500 B at 10 Mbps *) in
+  let n = 500 in
+  let events =
+    List.concat_map
+      (fun seq ->
+        let sent = float_of_int seq *. dt in
+        [ (sent, `Send seq); (sent +. 0.02, `Ack seq) ])
+      (List.init n Fun.id)
+    |> List.sort compare
+  in
+  List.iter
+    (fun (time, ev) ->
+      match ev with
+      | `Send seq -> Cc.Bbr.on_sent b ~now:time ~seq ~size:1500
+      | `Ack seq ->
+          Cc.Bbr.on_ack b ~now:time ~seq ~send_time:(time -. 0.02) ~size:1500
+            ~rtt:0.02)
+    events;
+  check_float ~eps:0.02 "rtprop" 0.02 (Cc.Bbr.rtprop_estimate b);
+  let bw_mbps = Units.bytes_per_sec_to_mbps (Cc.Bbr.btlbw_estimate b) in
+  if bw_mbps < 8.0 || bw_mbps > 13.0 then
+    Alcotest.failf "btlbw estimate %.2f Mbps not ~10" bw_mbps
+
+let test_bbr_paces () =
+  let b = Cc.Bbr.create (env ()) in
+  (match Cc.Bbr.next_send b ~now:0.0 with
+  | `Now -> ()
+  | _ -> Alcotest.fail "first packet immediate");
+  Cc.Bbr.on_sent b ~now:0.0 ~seq:0 ~size:1500;
+  match Cc.Bbr.next_send b ~now:0.0 with
+  | `At t when t > 0.0 -> ()
+  | `Now -> Alcotest.fail "no pacing gap"
+  | _ -> Alcotest.fail "unexpected decision"
+
+(* ---------- Reno ---------- *)
+
+let test_reno_slow_start_then_ca () =
+  let r = Cc.Reno.create (env ()) in
+  for seq = 0 to 9 do
+    Cc.Reno.on_sent r ~now:0.0 ~seq ~size:1500;
+    Cc.Reno.on_ack r ~now:0.05 ~seq ~send_time:0.0 ~size:1500 ~rtt:0.05
+  done;
+  check_float "ss" 20.0 (Cc.Reno.cwnd_packets r);
+  Cc.Reno.on_sent r ~now:0.1 ~seq:10 ~size:1500;
+  Cc.Reno.on_loss r ~now:0.1 ~seq:10 ~send_time:0.1 ~size:1500;
+  check_float "halved" 10.0 (Cc.Reno.cwnd_packets r);
+  (* Congestion avoidance: +1/cwnd per ack. *)
+  Cc.Reno.on_sent r ~now:0.3 ~seq:11 ~size:1500;
+  Cc.Reno.on_ack r ~now:0.35 ~seq:11 ~send_time:0.3 ~size:1500 ~rtt:0.05;
+  check_float ~eps:1e-9 "ca" 10.1 (Cc.Reno.cwnd_packets r)
+
+let test_reno_min_cwnd_floor () =
+  let r = Cc.Reno.create (env ()) in
+  for i = 0 to 9 do
+    Cc.Reno.on_sent r ~now:(float_of_int i) ~seq:i ~size:1500;
+    Cc.Reno.on_loss r ~now:(float_of_int i +. 0.5) ~seq:i ~send_time:0.0
+      ~size:1500
+  done;
+  if Cc.Reno.cwnd_packets r < 2.0 then Alcotest.fail "window below floor"
+
+(* ---------- Vegas ---------- *)
+
+let feed_vegas v ~rtt ~from_seq ~count ~start ~spacing =
+  for i = 0 to count - 1 do
+    let seq = from_seq + i in
+    let now = start +. (float_of_int i *. spacing) in
+    Cc.Vegas.on_sent v ~now ~seq ~size:1500;
+    Cc.Vegas.on_ack v ~now:(now +. rtt) ~seq ~send_time:now ~size:1500 ~rtt
+  done
+
+let test_vegas_ramps_when_uncongested () =
+  let v = Cc.Vegas.create (env ()) in
+  let w0 = Cc.Vegas.cwnd_packets v in
+  feed_vegas v ~rtt:0.03 ~from_seq:0 ~count:100 ~start:0.0 ~spacing:0.01;
+  if Cc.Vegas.cwnd_packets v <= w0 then Alcotest.fail "vegas did not ramp"
+
+let test_vegas_backs_off_when_queueing () =
+  let v = Cc.Vegas.create (env ()) in
+  (* Establish base RTT 30 ms, then a persistent 60 ms: diff >> beta. *)
+  feed_vegas v ~rtt:0.03 ~from_seq:0 ~count:50 ~start:0.0 ~spacing:0.01;
+  let peak = Cc.Vegas.cwnd_packets v in
+  feed_vegas v ~rtt:0.06 ~from_seq:50 ~count:100 ~start:1.0 ~spacing:0.01;
+  if Cc.Vegas.cwnd_packets v >= peak then
+    Alcotest.failf "vegas did not back off: %.1f >= %.1f"
+      (Cc.Vegas.cwnd_packets v) peak
+
+let test_vegas_loss_reduces () =
+  let v = Cc.Vegas.create (env ()) in
+  feed_vegas v ~rtt:0.03 ~from_seq:0 ~count:50 ~start:0.0 ~spacing:0.01;
+  let before = Cc.Vegas.cwnd_packets v in
+  Cc.Vegas.on_sent v ~now:2.0 ~seq:999 ~size:1500;
+  Cc.Vegas.on_loss v ~now:2.0 ~seq:999 ~send_time:2.0 ~size:1500;
+  check_float ~eps:1e-6 "3/4" (before *. 0.75) (Cc.Vegas.cwnd_packets v)
+
+(* ---------- BBR state machine ---------- *)
+
+let test_bbr_probe_rtt_on_stale_rtprop () =
+  let b = Cc.Bbr.create (env ()) in
+  (* Steady acks with RTT slowly rising: the 10 s rtprop filter goes
+     stale and BBR must enter PROBE_RTT at some point. *)
+  let probed = ref false in
+  for seq = 0 to 1400 do
+    let now = float_of_int seq *. 0.01 in
+    Cc.Bbr.on_sent b ~now ~seq ~size:1500;
+    Cc.Bbr.on_ack b ~now:(now +. 0.02) ~seq ~send_time:now ~size:1500
+      ~rtt:(0.02 +. (0.000005 *. float_of_int seq));
+    if Cc.Bbr.is_probing_rtt b then probed := true
+  done;
+  Alcotest.(check bool) "entered probe-rtt" true !probed
+
+(* ---------- COPA / integration ---------- *)
+
+let standard_cfg ?loss_rate ?noise ?(bw = 20.0) ?(buffer = 150_000) () =
+  Link.config ?loss_rate ?noise ~bandwidth_mbps:bw ~rtt_ms:30.0
+    ~buffer_bytes:buffer ()
+
+let single_flow_tput ?loss_rate ?noise ?bw ?buffer factory =
+  let r = Runner.create (standard_cfg ?loss_rate ?noise ?bw ?buffer ()) in
+  let f = Runner.add_flow r ~label:"x" ~factory in
+  Runner.run r ~until:25.0;
+  Flow_stats.throughput_mbps (Runner.stats f) ~t0:10.0 ~t1:25.0
+
+let test_protocols_saturate_alone () =
+  List.iter
+    (fun (name, factory, min_frac) ->
+      let tput = single_flow_tput factory in
+      if tput < 20.0 *. min_frac then
+        Alcotest.failf "%s only reached %.2f of 20 Mbps" name tput)
+    [
+      ("cubic", Cc.Cubic.factory (), 0.9);
+      ("bbr", Cc.Bbr.factory (), 0.85);
+      ("copa", Cc.Copa.factory (), 0.9);
+      ("ledbat", Cc.Ledbat.factory (), 0.9);
+      ("reno", Cc.Reno.factory (), 0.9);
+      ("vegas", Cc.Vegas.factory (), 0.85);
+    ]
+
+let test_copa_low_latency () =
+  let r = Runner.create (standard_cfg ()) in
+  let f = Runner.add_flow r ~label:"copa" ~factory:(Cc.Copa.factory ()) in
+  Runner.run r ~until:25.0;
+  match Flow_stats.rtt_percentile (Runner.stats f) ~t0:10.0 ~t1:25.0 ~p:95.0 with
+  | Some p95 ->
+      (* COPA should keep queueing low: well under half the 60 ms max
+         buffer delay on this link. *)
+      if p95 > 0.055 then Alcotest.failf "copa p95 rtt %.4f too high" p95
+  | None -> Alcotest.fail "no rtt samples"
+
+let test_cubic_fills_buffer () =
+  let r = Runner.create (standard_cfg ()) in
+  let f = Runner.add_flow r ~label:"cubic" ~factory:(Cc.Cubic.factory ()) in
+  Runner.run r ~until:25.0;
+  match Flow_stats.rtt_percentile (Runner.stats f) ~t0:10.0 ~t1:25.0 ~p:95.0 with
+  | Some p95 ->
+      if p95 < 0.06 then
+        Alcotest.failf "cubic p95 rtt %.4f suspiciously low (no bufferbloat?)"
+          p95
+  | None -> Alcotest.fail "no rtt samples"
+
+let test_loss_tolerance_ranking () =
+  (* Under 2% random loss: BBR and COPA keep throughput, LEDBAT (and
+     CUBIC) collapse. This is the essence of Fig. 4. *)
+  let with_loss f = single_flow_tput ~loss_rate:0.02 f in
+  let bbr = with_loss (Cc.Bbr.factory ()) in
+  let ledbat = with_loss (Cc.Ledbat.factory ()) in
+  if bbr < 15.0 then Alcotest.failf "bbr collapsed under random loss: %.2f" bbr;
+  if ledbat > 8.0 then
+    Alcotest.failf "ledbat should collapse under loss, got %.2f" ledbat
+
+let test_bbr_s_yields_to_bbr () =
+  let cfg = Link.config ~bandwidth_mbps:50.0 ~rtt_ms:30.0
+      ~buffer_bytes:375_000 () in
+  let r = Runner.create cfg in
+  let p = Runner.add_flow r ~label:"bbr" ~factory:(Cc.Bbr.factory ()) in
+  let s =
+    Runner.add_flow r ~start:5.0 ~label:"bbr-s"
+      ~factory:(Cc.Bbr.scavenger_factory ())
+  in
+  Runner.run r ~until:60.0;
+  let tp = Flow_stats.throughput_mbps (Runner.stats p) ~t0:20.0 ~t1:60.0 in
+  let ts = Flow_stats.throughput_mbps (Runner.stats s) ~t0:20.0 ~t1:60.0 in
+  (* Partial yielding is the expected shape (the paper itself does not
+     claim BBR-S is a robust scavenger, §7.1) — require a clear skew. *)
+  if tp < 1.5 *. ts then
+    Alcotest.failf "bbr-s did not yield: primary %.2f vs scavenger %.2f" tp ts
+
+let test_blaster_fixed_rate () =
+  let tput = single_flow_tput (Cc.Blaster.factory ~rate_mbps:5.0) in
+  check_float ~eps:0.3 "blaster rate" 5.0 tput
+
+(* ---------- LEDBAT RFC 6817 details ---------- *)
+
+let test_ledbat_off_target_proportional () =
+  (* With queuing delay at exactly half the target, the per-ack gain is
+     half the max ramp (GAIN * off_target * bytes / cwnd). *)
+  let l = Cc.Ledbat.create (env ()) in
+  (* Base delay 20 ms. *)
+  Cc.Ledbat.on_sent l ~now:0.0 ~seq:0 ~size:1500;
+  Cc.Ledbat.on_ack l ~now:0.02 ~seq:0 ~send_time:0.0 ~size:1500 ~rtt:0.02;
+  (* Queuing 50 ms = half the 100 ms target. The RFC's current-delay
+     filter takes the min of the last 4 samples, so burn three 70 ms
+     samples in first. *)
+  for seq = 1 to 3 do
+    Cc.Ledbat.on_sent l ~now:(0.1 *. float_of_int seq) ~seq ~size:1500;
+    Cc.Ledbat.on_ack l
+      ~now:((0.1 *. float_of_int seq) +. 0.07)
+      ~seq ~send_time:(0.1 *. float_of_int seq) ~size:1500 ~rtt:0.07
+  done;
+  let w0 = Cc.Ledbat.cwnd_packets l in
+  Cc.Ledbat.on_sent l ~now:0.5 ~seq:4 ~size:1500;
+  Cc.Ledbat.on_ack l ~now:0.57 ~seq:4 ~send_time:0.5 ~size:1500 ~rtt:0.07;
+  let gain = Cc.Ledbat.cwnd_packets l -. w0 in
+  check_float ~eps:1e-9 "half ramp" (0.5 /. w0) gain
+
+let test_ledbat_decrease_clamped () =
+  (* A wildly inflated delay may shrink the window by at most one
+     packet per ack (the RFC's decrease clamp). *)
+  let l = Cc.Ledbat.create (env ()) in
+  for seq = 0 to 29 do
+    Cc.Ledbat.on_sent l ~now:(float_of_int seq *. 0.01) ~seq ~size:1500;
+    Cc.Ledbat.on_ack l
+      ~now:((float_of_int seq *. 0.01) +. 0.02)
+      ~seq ~send_time:0.0 ~size:1500 ~rtt:0.02
+  done;
+  let before = Cc.Ledbat.cwnd_packets l in
+  Cc.Ledbat.on_sent l ~now:1.0 ~seq:99 ~size:1500;
+  Cc.Ledbat.on_ack l ~now:3.0 ~seq:99 ~send_time:1.0 ~size:1500 ~rtt:2.0;
+  if before -. Cc.Ledbat.cwnd_packets l > 1.0 +. 1e-9 then
+    Alcotest.failf "decrease %f exceeds one packet"
+      (before -. Cc.Ledbat.cwnd_packets l)
+
+let test_ledbat_25_yields_earlier_than_100 () =
+  (* At 60 ms of queueing, LEDBAT-25 is over target (shrinks) while
+     LEDBAT-100 is under target (grows). *)
+  let drive l =
+    for seq = 0 to 9 do
+      Cc.Ledbat.on_sent l ~now:(float_of_int seq *. 0.01) ~seq ~size:1500;
+      Cc.Ledbat.on_ack l
+        ~now:((float_of_int seq *. 0.01) +. 0.02)
+        ~seq ~send_time:0.0 ~size:1500 ~rtt:0.02
+    done;
+    let w = Cc.Ledbat.cwnd_packets l in
+    for seq = 10 to 19 do
+      Cc.Ledbat.on_sent l ~now:(float_of_int seq *. 0.01) ~seq ~size:1500;
+      Cc.Ledbat.on_ack l
+        ~now:((float_of_int seq *. 0.01) +. 0.08)
+        ~seq ~send_time:0.0 ~size:1500 ~rtt:0.08
+    done;
+    Cc.Ledbat.cwnd_packets l -. w
+  in
+  let d100 = drive (Cc.Ledbat.create (env ())) in
+  let d25 = drive (Cc.Ledbat.create ~params:Cc.Ledbat.draft_25ms (env ())) in
+  if d25 >= 0.0 then Alcotest.failf "ledbat-25 should shrink, grew %f" d25;
+  if d100 <= 0.0 then Alcotest.failf "ledbat-100 should grow, shrank %f" d100
+
+let rfc_suite =
+  [
+    ("ledbat off-target proportional", `Quick, test_ledbat_off_target_proportional);
+    ("ledbat decrease clamp", `Quick, test_ledbat_decrease_clamped);
+    ("ledbat 25 vs 100 target", `Quick, test_ledbat_25_yields_earlier_than_100);
+  ]
+
+let suite =
+  [
+    ("cubic slow start", `Quick, test_cubic_slow_start_growth);
+    ("cubic loss beta", `Quick, test_cubic_loss_halves_ish);
+    ("cubic one reduction/rtt", `Quick, test_cubic_one_reduction_per_rtt);
+    ("cubic window blocks", `Quick, test_cubic_blocks_at_window);
+    ("ledbat ramps", `Quick, test_ledbat_ramps_below_target);
+    ("ledbat backs off", `Quick, test_ledbat_backs_off_above_target);
+    ("ledbat base min", `Quick, test_ledbat_base_delay_tracks_min);
+    ("ledbat latecomer base", `Quick, test_ledbat_latecomer_sees_inflated_base);
+    ("ledbat loss", `Quick, test_ledbat_loss_halves);
+    ("ledbat names", `Quick, test_ledbat_name_carries_target);
+    ("bbr estimates", `Quick, test_bbr_estimates_on_clean_link);
+    ("bbr paces", `Quick, test_bbr_paces);
+    ("bbr probe-rtt staleness", `Quick, test_bbr_probe_rtt_on_stale_rtprop);
+    ("reno ss/ca/loss", `Quick, test_reno_slow_start_then_ca);
+    ("reno floor", `Quick, test_reno_min_cwnd_floor);
+    ("vegas ramp", `Quick, test_vegas_ramps_when_uncongested);
+    ("vegas backoff", `Quick, test_vegas_backs_off_when_queueing);
+    ("vegas loss", `Quick, test_vegas_loss_reduces);
+    ("protocols saturate", `Slow, test_protocols_saturate_alone);
+    ("copa low latency", `Slow, test_copa_low_latency);
+    ("cubic bufferbloat", `Slow, test_cubic_fills_buffer);
+    ("loss tolerance ranking", `Slow, test_loss_tolerance_ranking);
+    ("bbr-s yields", `Slow, test_bbr_s_yields_to_bbr);
+    ("blaster rate", `Slow, test_blaster_fixed_rate);
+  ]
+  @ rfc_suite

@@ -1,0 +1,160 @@
+(* Tests for the Appendix-A equilibrium model: best responses, the
+   fixed-point solver, and the fairness statements of Theorems 4.1/4.2. *)
+
+open Proteus
+
+let check_float ?(eps = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+let params ?(da = 13.0) ?(capacity = 50.0) () =
+  { (Equilibrium.default_params ~capacity_mbps:capacity) with
+    Equilibrium.da }
+
+(* First-order condition residual for a sender with the given penalty
+   at rate x when everyone sends total S. *)
+let foc p ~penalty ~x ~others =
+  let c = p.Equilibrium.capacity_mbps in
+  (p.Equilibrium.exponent *. (x ** (p.Equilibrium.exponent -. 1.0)))
+  -. (penalty *. ((2.0 *. x) +. others -. c) /. c)
+
+(* With the paper's large coefficients every best response lands on the
+   kink (fill the link exactly); the interior regime needs a small
+   penalty. Both regimes are exercised below. *)
+
+let test_best_response_solves_foc_interior () =
+  let p = params () in
+  let x = Equilibrium.best_response p ~penalty:1.0 ~others_rate:20.0 in
+  if x <= 30.0 then Alcotest.failf "expected interior optimum, got %.4f" x;
+  check_float ~eps:1e-3 "foc zero" 0.0 (foc p ~penalty:1.0 ~x ~others:20.0)
+
+let test_best_response_at_kink () =
+  (* With a huge penalty, the optimum is to fill the link exactly (the
+     kink): sending less wastes free capacity, sending more is
+     punished. *)
+  let p = params () in
+  let x = Equilibrium.best_response p ~penalty:1e9 ~others_rate:30.0 in
+  check_float ~eps:1e-6 "kink at C - R" 20.0 x
+
+let test_best_response_monotone_in_penalty () =
+  let p = params () in
+  let x_low = Equilibrium.best_response p ~penalty:500.0 ~others_rate:40.0 in
+  let x_high = Equilibrium.best_response p ~penalty:2000.0 ~others_rate:40.0 in
+  if x_high > x_low then
+    Alcotest.failf "higher penalty should not send more: %.4f > %.4f" x_high
+      x_low
+
+let test_all_p_equilibrium_fair_and_full () =
+  let p = params () in
+  List.iter
+    (fun n ->
+      let eq = Equilibrium.solve p ~n_p:n ~n_s:0 in
+      if eq.Equilibrium.total < p.Equilibrium.capacity_mbps then
+        Alcotest.failf "n=%d link underutilized: %.3f" n eq.Equilibrium.total;
+      (* Theorem 4.1: symmetric senders, so the per-sender rate times n
+         is the total; also overshoot should be modest (equilibrium sits
+         just above capacity where marginal utility crosses zero). *)
+      check_float ~eps:1e-6 "total consistent"
+        (float_of_int n *. eq.Equilibrium.rate_p)
+        eq.Equilibrium.total;
+      if eq.Equilibrium.total > 1.25 *. p.Equilibrium.capacity_mbps then
+        Alcotest.failf "n=%d overshoot too large: %.3f" n eq.Equilibrium.total)
+    [ 1; 2; 5; 10 ]
+
+let test_all_s_equilibrium_fair_and_full () =
+  let p = params () in
+  let eq = Equilibrium.solve p ~n_p:0 ~n_s:4 in
+  if eq.Equilibrium.total < p.Equilibrium.capacity_mbps then
+    Alcotest.failf "link underutilized: %.3f" eq.Equilibrium.total
+
+let test_mixed_equilibrium_scavenger_below_primary_interior () =
+  (* Interior regime (small coefficients): the deviation penalty
+     strictly skews the split toward the primary. *)
+  let p = { (params ~capacity:50.0 ()) with Equilibrium.b = 0.5; da = 1.0 } in
+  let eq = Equilibrium.solve p ~n_p:1 ~n_s:1 in
+  if eq.Equilibrium.rate_s >= eq.Equilibrium.rate_p then
+    Alcotest.failf "S (%.3f) should sit below P (%.3f)" eq.Equilibrium.rate_s
+      eq.Equilibrium.rate_p
+
+let test_mixed_equilibrium_kink_at_paper_coefficients () =
+  (* With b = 900 the static model parks everyone at the kink: the link
+     exactly full and the split equal. This documents (as executable
+     fact) the paper's remark that the yielding of Proteus-S is a
+     *dynamic* phenomenon — the fluid equilibrium alone does not
+     produce it. *)
+  let p = params () in
+  let eq = Equilibrium.solve p ~n_p:1 ~n_s:1 in
+  check_float ~eps:1e-3 "full link" p.Equilibrium.capacity_mbps
+    eq.Equilibrium.total;
+  check_float ~eps:1e-3 "equal split at kink" eq.Equilibrium.rate_p
+    eq.Equilibrium.rate_s
+
+let test_da_zero_degenerates_to_fair () =
+  let p = params ~da:0.0 () in
+  let eq = Equilibrium.solve p ~n_p:1 ~n_s:1 in
+  check_float ~eps:1e-6 "identical penalties -> equal rates"
+    eq.Equilibrium.rate_p eq.Equilibrium.rate_s
+
+let test_larger_da_means_smaller_share () =
+  (* Interior regime. *)
+  let share da =
+    Equilibrium.scavenger_share
+      { (params ~da ()) with Equilibrium.b = 0.5 }
+      ~n_p:1 ~n_s:1
+  in
+  let s1 = share 0.5 and s2 = share 4.0 in
+  if s2 >= s1 then
+    Alcotest.failf "larger deviation penalty should shrink share: %.3f >= %.3f"
+      s2 s1
+
+let test_solve_rejects_empty () =
+  Alcotest.check_raises "no senders"
+    (Invalid_argument "Equilibrium.solve: need at least one sender")
+    (fun () -> ignore (Equilibrium.solve (params ()) ~n_p:0 ~n_s:0))
+
+let test_single_sender_interior_foc () =
+  (* For n=1 with a small b the FOC t x^{t-1} = b (2x - C)/C has an
+     interior root the solver must find. *)
+  let p = { (params ()) with Equilibrium.b = 0.5 } in
+  let eq = Equilibrium.solve p ~n_p:1 ~n_s:0 in
+  check_float ~eps:1e-3 "foc" 0.0
+    (foc p ~penalty:p.Equilibrium.b ~x:eq.Equilibrium.rate_p ~others:0.0)
+
+let prop_solver_converges =
+  QCheck.Test.make ~name:"solver converges with positive rates" ~count:100
+    QCheck.(triple (int_range 0 6) (int_range 0 6) (float_range 10.0 500.0))
+    (fun (n_p, n_s, capacity) ->
+      QCheck.assume (n_p + n_s > 0);
+      let p = params ~capacity () in
+      let eq = Equilibrium.solve p ~n_p ~n_s in
+      let ok_rate r n = if n = 0 then true else r > 0.0 in
+      ok_rate eq.Equilibrium.rate_p n_p
+      && ok_rate eq.Equilibrium.rate_s n_s
+      && eq.Equilibrium.total >= capacity -. 1e-6)
+
+let prop_scavenger_never_above_primary =
+  QCheck.Test.make ~name:"scavenger rate <= primary rate at equilibrium"
+    ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (n_p, n_s) ->
+      let eq = Equilibrium.solve (params ()) ~n_p ~n_s in
+      eq.Equilibrium.rate_s <= eq.Equilibrium.rate_p +. 1e-9)
+
+let suite =
+  [
+    ("best response foc (interior)", `Quick, test_best_response_solves_foc_interior);
+    ("best response kink", `Quick, test_best_response_at_kink);
+    ("best response monotone", `Quick, test_best_response_monotone_in_penalty);
+    ("all-P fair & full (Thm 4.1)", `Quick, test_all_p_equilibrium_fair_and_full);
+    ("all-S fair & full (Thm 4.2)", `Quick, test_all_s_equilibrium_fair_and_full);
+    ("mixed: S below P (interior)", `Quick,
+     test_mixed_equilibrium_scavenger_below_primary_interior);
+    ("mixed: kink at paper coeffs", `Quick,
+     test_mixed_equilibrium_kink_at_paper_coefficients);
+    ("da=0 degenerates", `Quick, test_da_zero_degenerates_to_fair);
+    ("da monotone", `Quick, test_larger_da_means_smaller_share);
+    ("rejects empty", `Quick, test_solve_rejects_empty);
+    ("single sender (interior)", `Quick, test_single_sender_interior_foc);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_solver_converges; prop_scavenger_never_above_primary ]

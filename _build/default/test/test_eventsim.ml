@@ -1,0 +1,134 @@
+(* Tests for the event heap and simulation kernel. *)
+
+open Proteus_eventsim
+
+(* ---------- Heap ---------- *)
+
+let test_heap_orders () =
+  let h = Heap.create () in
+  List.iter (fun t -> Heap.push h ~time:t t) [ 3.0; 1.0; 2.0; 0.5 ];
+  let order = List.init 4 (fun _ -> fst (Option.get (Heap.pop h))) in
+  Alcotest.(check (list (float 1e-9))) "sorted" [ 0.5; 1.0; 2.0; 3.0 ] order
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~time:1.0 v) [ "a"; "b"; "c" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ] order
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek_time h = None)
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.push h ~time:5.0 5;
+  Heap.push h ~time:1.0 1;
+  Alcotest.(check bool) "pop 1" true (Heap.pop h = Some (1.0, 1));
+  Heap.push h ~time:3.0 3;
+  Alcotest.(check bool) "pop 3" true (Heap.pop h = Some (3.0, 3));
+  Alcotest.(check bool) "pop 5" true (Heap.pop h = Some (5.0, 5))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 100) (float_bound_exclusive 1000.0))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> Heap.push h ~time:t ()) times;
+      let popped = List.init (List.length times) (fun _ ->
+          fst (Option.get (Heap.pop h))) in
+      let sorted = List.sort compare times in
+      List.for_all2 (fun a b -> Float.abs (a -. b) < 1e-12) popped sorted)
+
+(* ---------- Sim ---------- *)
+
+let test_sim_runs_in_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.at sim ~time:2.0 (fun () -> log := 2 :: !log);
+  Sim.at sim ~time:1.0 (fun () -> log := 1 :: !log);
+  Sim.at sim ~time:3.0 (fun () -> log := 3 :: !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_sim_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref 0.0 in
+  Sim.at sim ~time:5.5 (fun () -> seen := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check (float 1e-12)) "clock at handler" 5.5 !seen
+
+let test_sim_until_stops () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.at sim ~time:10.0 (fun () -> fired := true);
+  Sim.run ~until:5.0 sim;
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check (float 1e-12)) "clock = until" 5.0 (Sim.now sim);
+  Sim.run ~until:20.0 sim;
+  Alcotest.(check bool) "fired later" true !fired
+
+let test_sim_handlers_can_schedule () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Sim.after sim ~delay:1.0 (fun () ->
+          incr count;
+          chain (n - 1))
+  in
+  chain 5;
+  Sim.run sim;
+  Alcotest.(check int) "chained" 5 !count;
+  Alcotest.(check (float 1e-12)) "final time" 5.0 (Sim.now sim)
+
+let test_sim_past_events_clamp () =
+  let sim = Sim.create () in
+  let times = ref [] in
+  Sim.at sim ~time:3.0 (fun () ->
+      (* scheduling in the past clamps to now *)
+      Sim.at sim ~time:1.0 (fun () -> times := Sim.now sim :: !times));
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-12))) "clamped" [ 3.0 ] !times
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let c = Sim.at_cancellable sim ~time:1.0 (fun () -> fired := true) in
+  Sim.cancel c;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_sim_cancel_twice_ok () =
+  let sim = Sim.create () in
+  let c = Sim.at_cancellable sim ~time:1.0 (fun () -> ()) in
+  Sim.cancel c;
+  Sim.cancel c;
+  Sim.run sim
+
+let test_sim_pending () =
+  let sim = Sim.create () in
+  Sim.at sim ~time:1.0 (fun () -> ());
+  Sim.at sim ~time:2.0 (fun () -> ());
+  Alcotest.(check int) "pending" 2 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check int) "drained" 0 (Sim.pending sim)
+
+let suite =
+  [
+    ("heap orders", `Quick, test_heap_orders);
+    ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("heap empty", `Quick, test_heap_empty);
+    ("heap interleaved", `Quick, test_heap_interleaved);
+    ("sim order", `Quick, test_sim_runs_in_order);
+    ("sim clock", `Quick, test_sim_clock_advances);
+    ("sim until", `Quick, test_sim_until_stops);
+    ("sim chained scheduling", `Quick, test_sim_handlers_can_schedule);
+    ("sim past clamp", `Quick, test_sim_past_events_clamp);
+    ("sim cancel", `Quick, test_sim_cancel);
+    ("sim double cancel", `Quick, test_sim_cancel_twice_ok);
+    ("sim pending", `Quick, test_sim_pending);
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_heap_sorts ]

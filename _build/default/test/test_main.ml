@@ -1,0 +1,21 @@
+(* Aggregates all module suites under one alcotest binary
+   (`dune runtest`). *)
+
+let () =
+  Alcotest.run "pcc_proteus"
+    [
+      ("stats", Test_stats.suite);
+      ("eventsim", Test_eventsim.suite);
+      ("net", Test_net.suite);
+      ("cc", Test_cc.suite);
+      ("proteus", Test_proteus.suite);
+      ("equilibrium", Test_equilibrium.suite);
+      ("policies", Test_policies.suite);
+      ("properties", Test_props.suite);
+      ("edge", Test_edge.suite);
+      ("more", Test_more.suite);
+      ("controller-unit", Test_controller_unit.suite);
+      ("timing", Test_timing.suite);
+      ("video", Test_video.suite);
+      ("web", Test_web.suite);
+    ]

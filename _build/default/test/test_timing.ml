@@ -1,0 +1,125 @@
+(* Analytic timing tests: scenarios whose exact outcome can be computed
+   by hand, pinning the simulator's arithmetic (serialization, queueing,
+   completion times) to closed-form values. *)
+
+module Net = Proteus_net
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let test_blaster_completion_time () =
+  (* 15 KB (10 packets) at a 10 Mbps paced blaster over a 100 Mbps
+     empty link, 20 ms RTT.
+
+     Packet i (0-based) departs the sender at i * 1.2 ms (pacing),
+     serializes in 0.12 ms, and its ACK arrives 20 ms later. The last
+     packet is sent at 10.8 ms, so completion = 10.8 + 0.12 + 20 =
+     30.92 ms. *)
+  let cfg =
+    Net.Link.config ~bandwidth_mbps:100.0 ~rtt_ms:20.0 ~buffer_bytes:1_000_000
+      ()
+  in
+  let r = Net.Runner.create cfg in
+  let f =
+    Net.Runner.add_flow r ~label:"b" ~size_bytes:15_000
+      ~factory:(Proteus_cc.Blaster.factory ~rate_mbps:10.0)
+  in
+  Net.Runner.run r ~until:1.0;
+  check_float ~eps:1e-9 "completion" 0.03092
+    (Option.get (Net.Runner.completion_time f))
+
+let test_queueing_rtt_progression () =
+  (* A 10-packet burst into a 10 Mbps link (1.2 ms serialization each),
+     20 ms base RTT: packet i's RTT = (i+1) * 1.2 ms + 20 ms. *)
+  let cfg =
+    Net.Link.config ~bandwidth_mbps:10.0 ~rtt_ms:20.0 ~buffer_bytes:1_000_000
+      ()
+  in
+  let link = Net.Link.create cfg ~rng:(Proteus_stats.Rng.create ~seed:1) in
+  for i = 0 to 9 do
+    match Net.Link.transmit link ~now:0.0 ~size:1500 with
+    | Net.Link.Delivered { rtt; _ } ->
+        check_float ~eps:1e-12
+          (Printf.sprintf "rtt of packet %d" i)
+          ((float_of_int (i + 1) *. 0.0012) +. 0.02)
+          rtt
+    | Net.Link.Dropped _ -> Alcotest.fail "no drop expected"
+  done
+
+let test_exact_drop_boundary () =
+  (* Buffer of exactly 4500 B: packets are admitted while backlog+size
+     <= 4500, i.e. exactly 3 back-to-back packets, and the 4th drops. *)
+  let cfg =
+    Net.Link.config ~bandwidth_mbps:10.0 ~rtt_ms:20.0 ~buffer_bytes:4500 ()
+  in
+  let link = Net.Link.create cfg ~rng:(Proteus_stats.Rng.create ~seed:1) in
+  let outcomes =
+    List.init 4 (fun _ ->
+        match Net.Link.transmit link ~now:0.0 ~size:1500 with
+        | Net.Link.Delivered _ -> `D
+        | Net.Link.Dropped _ -> `X)
+  in
+  Alcotest.(check bool) "3 in, 4th dropped" true (outcomes = [ `D; `D; `D; `X ])
+
+let test_loss_notification_timing () =
+  (* With the queue holding 2 packets (2.4 ms backlog) on a 20 ms RTT
+     link, a drop at t is notified at t + 2.4 ms + 20 ms. *)
+  let cfg =
+    Net.Link.config ~bandwidth_mbps:10.0 ~rtt_ms:20.0 ~buffer_bytes:3000 ()
+  in
+  let link = Net.Link.create cfg ~rng:(Proteus_stats.Rng.create ~seed:1) in
+  ignore (Net.Link.transmit link ~now:0.0 ~size:1500);
+  ignore (Net.Link.transmit link ~now:0.0 ~size:1500);
+  match Net.Link.transmit link ~now:0.0 ~size:1500 with
+  | Net.Link.Dropped { notify_time } ->
+      check_float ~eps:1e-12 "notify" (0.0024 +. 0.02) notify_time
+  | Net.Link.Delivered _ -> Alcotest.fail "expected drop"
+
+let test_finite_flow_last_packet_size () =
+  (* 3100 bytes = 1500 + 1500 + 100: three packets exactly. *)
+  let cfg =
+    Net.Link.config ~bandwidth_mbps:10.0 ~rtt_ms:20.0 ~buffer_bytes:100_000 ()
+  in
+  let r = Net.Runner.create cfg in
+  let f =
+    Net.Runner.add_flow r ~label:"odd" ~size_bytes:3100
+      ~factory:(Proteus_cc.Cubic.factory ())
+  in
+  Net.Runner.run r ~until:2.0;
+  Alcotest.(check int) "3 packets" 3
+    (Net.Flow_stats.packets_sent (Net.Runner.stats f));
+  check_float ~eps:0.5 "exactly the bytes acked" 3100.0
+    (Net.Flow_stats.bytes_acked (Net.Runner.stats f))
+
+let test_stagger_isolated_throughput () =
+  (* Two blasters at 4 Mbps each on a 10 Mbps link never interact: each
+     gets exactly its configured rate. *)
+  let cfg =
+    Net.Link.config ~bandwidth_mbps:10.0 ~rtt_ms:20.0 ~buffer_bytes:100_000 ()
+  in
+  let r = Net.Runner.create cfg in
+  let a = Net.Runner.add_flow r ~label:"a"
+      ~factory:(Proteus_cc.Blaster.factory ~rate_mbps:4.0) in
+  let b = Net.Runner.add_flow r ~start:2.0 ~label:"b"
+      ~factory:(Proteus_cc.Blaster.factory ~rate_mbps:4.0) in
+  Net.Runner.run r ~until:12.0;
+  check_float ~eps:0.05 "a rate" 4.0
+    (Net.Flow_stats.throughput_mbps (Net.Runner.stats a) ~t0:4.0 ~t1:12.0);
+  check_float ~eps:0.05 "b rate" 4.0
+    (Net.Flow_stats.throughput_mbps (Net.Runner.stats b) ~t0:4.0 ~t1:12.0);
+  (* And no losses: 8 < 10 Mbps. *)
+  Alcotest.(check int) "no loss a" 0
+    (Net.Flow_stats.packets_lost (Net.Runner.stats a));
+  Alcotest.(check int) "no loss b" 0
+    (Net.Flow_stats.packets_lost (Net.Runner.stats b))
+
+let suite =
+  [
+    ("blaster completion time", `Quick, test_blaster_completion_time);
+    ("queueing rtt progression", `Quick, test_queueing_rtt_progression);
+    ("exact drop boundary", `Quick, test_exact_drop_boundary);
+    ("loss notify timing", `Quick, test_loss_notification_timing);
+    ("last packet size", `Quick, test_finite_flow_last_packet_size);
+    ("non-interacting blasters", `Quick, test_stagger_isolated_throughput);
+  ]

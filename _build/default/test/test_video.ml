@@ -1,0 +1,307 @@
+(* Tests for the DASH/BOLA video substrate. *)
+
+open Proteus_video
+module Net = Proteus_net
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let video () = Video.make_4k ~seed:42 ~name:"test4k" ()
+
+(* ---------- Video ---------- *)
+
+let test_video_properties () =
+  let v = video () in
+  Alcotest.(check bool) "4k ladder tops above 40" true (Video.max_bitrate v > 40.0);
+  Alcotest.(check bool) "at least 3 minutes" true (Video.duration v >= 180.0);
+  check_float "chunk duration" 3.0 v.Video.chunk_duration;
+  let ladder = v.Video.bitrates_mbps in
+  for i = 1 to Array.length ladder - 1 do
+    if ladder.(i) <= ladder.(i - 1) then Alcotest.fail "ladder not ascending"
+  done
+
+let test_video_1080p_tops_at_10 () =
+  let v = Video.make_1080p ~seed:1 ~name:"t" () in
+  let top = Video.max_bitrate v in
+  if top < 9.0 || top > 12.0 then Alcotest.failf "1080p top %.1f" top
+
+let test_video_chunk_bytes () =
+  let v = video () in
+  (* 8 Mbps * 3 s = 3 MB of bits = 3e6 bytes *)
+  Alcotest.(check int) "chunk bytes" 3_000_000
+    (Video.chunk_bytes v ~bitrate_mbps:8.0)
+
+let test_video_corpus_deterministic () =
+  let a = Video.corpus_4k ~n:3 and b = Video.corpus_4k ~n:3 in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check int) "chunks equal" x.Video.n_chunks y.Video.n_chunks)
+    a b
+
+(* ---------- Bola ---------- *)
+
+let bola ?(capacity = 4.0) () =
+  Bola.create ~video:(video ()) ~buffer_capacity_chunks:capacity ()
+
+let test_bola_empty_buffer_lowest () =
+  match Bola.decide (bola ()) ~buffer_chunks:0.0 with
+  | Bola.Download { level; _ } ->
+      Alcotest.(check int) "lowest rung" 0 level
+  | Bola.Abstain -> Alcotest.fail "must download on empty buffer"
+
+let test_bola_monotone_in_buffer () =
+  let b = bola () in
+  let level_at q =
+    match Bola.decide b ~buffer_chunks:q with
+    | Bola.Download { level; _ } -> level
+    | Bola.Abstain -> max_int
+  in
+  let levels = List.map level_at [ 0.0; 1.0; 2.0; 3.0; 3.9 ] in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "levels nondecreasing in buffer" true
+    (nondecreasing levels)
+
+let test_bola_abstains_when_full () =
+  match Bola.decide (bola ()) ~buffer_chunks:4.0 with
+  | Bola.Abstain -> ()
+  | Bola.Download _ -> Alcotest.fail "should abstain at capacity"
+
+let test_bola_forced_level () =
+  let b = bola () in
+  Bola.force_level b (Some 6);
+  (match Bola.decide b ~buffer_chunks:0.0 with
+  | Bola.Download { level = 6; _ } -> ()
+  | _ -> Alcotest.fail "forced level ignored");
+  Bola.force_level b None;
+  match Bola.decide b ~buffer_chunks:0.0 with
+  | Bola.Download { level = 0; _ } -> ()
+  | _ -> Alcotest.fail "unforce failed"
+
+(* ---------- Playback ---------- *)
+
+let test_playback_consumes_in_real_time () =
+  let p = Playback.create ~capacity_seconds:12.0 () in
+  Playback.add_chunk p ~now:0.0 ~seconds:3.0;
+  Playback.update p ~now:2.0;
+  check_float "1 s left" 1.0 (Playback.buffer_seconds p);
+  check_float "played 2" 2.0 (Playback.play_time p)
+
+let test_playback_stalls_and_rebuffers () =
+  let p = Playback.create ~capacity_seconds:12.0 () in
+  Playback.add_chunk p ~now:0.0 ~seconds:3.0;
+  Playback.update p ~now:5.0;
+  Alcotest.(check bool) "stalled" true (Playback.is_stalled p);
+  check_float "rebuffer 2s" 2.0 (Playback.rebuffer_time p);
+  (* A new chunk resumes playback. *)
+  Playback.add_chunk p ~now:6.0 ~seconds:3.0;
+  Alcotest.(check bool) "resumed" false (Playback.is_stalled p);
+  check_float "rebuffer 3s total" 3.0 (Playback.rebuffer_time p);
+  Playback.update p ~now:8.0;
+  check_float "played 5s" 5.0 (Playback.play_time p)
+
+let test_playback_no_rebuffer_before_start () =
+  let p = Playback.create ~capacity_seconds:12.0 () in
+  Playback.update p ~now:100.0;
+  check_float "no rebuffer before start" 0.0 (Playback.rebuffer_time p);
+  check_float "ratio 0" 0.0 (Playback.rebuffer_ratio p)
+
+let test_playback_capacity_clamp () =
+  let p = Playback.create ~capacity_seconds:5.0 () in
+  Playback.add_chunk p ~now:0.0 ~seconds:3.0;
+  Playback.add_chunk p ~now:0.0 ~seconds:3.0;
+  check_float "clamped" 5.0 (Playback.buffer_seconds p);
+  check_float "free 0" 0.0 (Playback.free_seconds p)
+
+let test_playback_ratio () =
+  let p = Playback.create ~capacity_seconds:12.0 () in
+  Playback.add_chunk p ~now:0.0 ~seconds:3.0;
+  Playback.update p ~now:4.0 (* 3 played, 1 stalled *);
+  check_float "ratio" 0.25 (Playback.rebuffer_ratio p)
+
+(* ---------- Threshold policy ---------- *)
+
+let test_policy_initial_sufficient_rate () =
+  let v = video () in
+  let th = ref 0.0 in
+  let _p = Threshold_policy.create ~video:v ~threshold_mbps:th () in
+  check_float ~eps:1e-6 "G * max bitrate" (1.5 *. Video.max_bitrate v) !th
+
+let test_policy_buffer_limit () =
+  let v = video () in
+  let th = ref 0.0 in
+  let p = Threshold_policy.create ~video:v ~threshold_mbps:th () in
+  (* f = 1 free chunk: threshold <= bitrate/(2-1) = bitrate. *)
+  Threshold_policy.on_chunk_request p ~current_bitrate_mbps:10.0 ~free_chunks:1.0;
+  check_float ~eps:1e-6 "buffer limit" 10.0 !th;
+  (* f = 0.5: threshold <= bitrate / 1.5 *)
+  Threshold_policy.on_chunk_request p ~current_bitrate_mbps:10.0 ~free_chunks:0.5;
+  check_float ~eps:1e-6 "tighter" (10.0 /. 1.5) !th;
+  (* f >= 2: only the sufficient-rate rule caps. *)
+  Threshold_policy.on_chunk_request p ~current_bitrate_mbps:10.0 ~free_chunks:3.0;
+  check_float ~eps:1e-6 "rule 1 only" (1.5 *. Video.max_bitrate v) !th
+
+let test_policy_emergency_overrides () =
+  let v = video () in
+  let th = ref 0.0 in
+  let p = Threshold_policy.create ~video:v ~threshold_mbps:th () in
+  Threshold_policy.on_rebuffer_start p;
+  Alcotest.(check bool) "infinite" true (Float.is_integer !th = false || !th = infinity);
+  check_float "inf" infinity !th;
+  (* Rules don't apply during the emergency. *)
+  Threshold_policy.on_chunk_request p ~current_bitrate_mbps:5.0 ~free_chunks:1.0;
+  check_float "still inf" infinity !th;
+  Threshold_policy.on_rebuffer_end p ~current_bitrate_mbps:5.0 ~free_chunks:1.0;
+  check_float ~eps:1e-6 "restored" 5.0 !th
+
+(* ---------- Session integration ---------- *)
+
+let test_session_streams_on_fast_link () =
+  let cfg = Net.Link.config ~bandwidth_mbps:100.0 ~rtt_ms:30.0
+      ~buffer_bytes:900_000 () in
+  let r = Net.Runner.create cfg in
+  let v = video () in
+  let s =
+    Session.start r ~video:v
+      ~transport:(Session.Plain (Proteus_cc.Cubic.factory ()))
+  in
+  Net.Runner.run r ~until:90.0;
+  let rep = Session.report s ~now:90.0 in
+  if rep.Session.chunks_downloaded < 20 then
+    Alcotest.failf "only %d chunks" rep.Session.chunks_downloaded;
+  (* 100 Mbps easily sustains the 45 Mbps top rung with BOLA. *)
+  if rep.Session.avg_chunk_bitrate_mbps < 20.0 then
+    Alcotest.failf "avg bitrate %.1f too low" rep.Session.avg_chunk_bitrate_mbps;
+  if rep.Session.rebuffer_ratio > 0.05 then
+    Alcotest.failf "rebuffer ratio %.3f on fast link" rep.Session.rebuffer_ratio
+
+let test_session_starved_link_rebuffers () =
+  (* Force the highest 4K bitrate over a 10 Mbps link: guaranteed
+     rebuffering. *)
+  let cfg = Net.Link.config ~bandwidth_mbps:10.0 ~rtt_ms:30.0
+      ~buffer_bytes:150_000 () in
+  let r = Net.Runner.create cfg in
+  let s =
+    Session.start r ~video:(video ()) ~force_highest:true
+      ~transport:(Session.Plain (Proteus_cc.Cubic.factory ()))
+  in
+  Net.Runner.run r ~until:60.0;
+  let rep = Session.report s ~now:60.0 in
+  if rep.Session.rebuffer_ratio < 0.3 then
+    Alcotest.failf "expected heavy rebuffering, got %.3f"
+      rep.Session.rebuffer_ratio
+
+let test_session_hybrid_runs () =
+  let cfg = Net.Link.config ~bandwidth_mbps:100.0 ~rtt_ms:30.0
+      ~buffer_bytes:900_000 () in
+  let r = Net.Runner.create cfg in
+  let s = Session.start r ~video:(video ()) ~transport:Session.Hybrid in
+  Net.Runner.run r ~until:60.0;
+  let rep = Session.report s ~now:60.0 in
+  if rep.Session.chunks_downloaded < 10 then
+    Alcotest.failf "hybrid session stalled: %d chunks"
+      rep.Session.chunks_downloaded
+
+(* ---------- ABR abstraction (throughput rule) ---------- *)
+
+let test_abr_throughput_picks_under_budget () =
+  let v = video () in
+  let a = Abr.throughput_based ~video:v ~buffer_capacity_chunks:4.0 () in
+  (* No estimate yet: lowest rung. *)
+  (match Abr.decide a ~buffer_chunks:0.0 ~recent_tput_mbps:None with
+  | Abr.Download { level = 0; _ } -> ()
+  | _ -> Alcotest.fail "no estimate should pick the lowest rung");
+  (* With a 30 Mbps estimate and 0.9 safety: highest rung <= 27 Mbps. *)
+  match Abr.decide a ~buffer_chunks:1.0 ~recent_tput_mbps:(Some 30.0) with
+  | Abr.Download { bitrate_mbps; _ } ->
+      if bitrate_mbps > 27.0 then
+        Alcotest.failf "picked %.1f above budget" bitrate_mbps;
+      (* And it is the highest such rung. *)
+      let better_fits =
+        Array.exists
+          (fun b -> b > bitrate_mbps && b <= 27.0)
+          v.Video.bitrates_mbps
+      in
+      if better_fits then Alcotest.fail "not the highest rung under budget"
+  | Abr.Abstain -> Alcotest.fail "should download with free buffer"
+
+let test_abr_throughput_abstains_when_full () =
+  let a = Abr.throughput_based ~video:(video ()) ~buffer_capacity_chunks:4.0 () in
+  match Abr.decide a ~buffer_chunks:4.0 ~recent_tput_mbps:(Some 50.0) with
+  | Abr.Abstain -> ()
+  | Abr.Download _ -> Alcotest.fail "should abstain at capacity"
+
+let test_abr_forced_level () =
+  let a = Abr.throughput_based ~video:(video ()) ~buffer_capacity_chunks:4.0 () in
+  Abr.force_level a (Some 6);
+  match Abr.decide a ~buffer_chunks:0.0 ~recent_tput_mbps:(Some 1.0) with
+  | Abr.Download { level = 6; _ } -> ()
+  | _ -> Alcotest.fail "forced level ignored"
+
+let test_harmonic_mean_tracker () =
+  let add, get = Abr.harmonic_mean_tracker ~window:3 in
+  Alcotest.(check bool) "empty" true (get () = None);
+  add 10.0;
+  add 10.0;
+  check_float "equal samples" 10.0 (Option.get (get ()));
+  add 1.0;
+  (* harmonic mean of 10,10,1 = 3/(0.1+0.1+1) = 2.5: dips dominate *)
+  check_float ~eps:1e-9 "harmonic weighting" 2.5 (Option.get (get ()));
+  add 10.0;
+  (* window 3 drops the first 10: now 10,1,10 -> same 2.5 *)
+  check_float ~eps:1e-9 "windowed" 2.5 (Option.get (get ()))
+
+let test_session_with_throughput_abr () =
+  let cfg = Net.Link.config ~bandwidth_mbps:100.0 ~rtt_ms:30.0
+      ~buffer_bytes:900_000 () in
+  let r = Net.Runner.create cfg in
+  let s =
+    Session.start r ~video:(video ()) ~abr:Session.Throughput_abr
+      ~transport:(Session.Plain (Proteus_cc.Cubic.factory ()))
+  in
+  Net.Runner.run r ~until:60.0;
+  let rep = Session.report s ~now:60.0 in
+  if rep.Session.chunks_downloaded < 10 then
+    Alcotest.failf "throughput-ABR session stalled: %d chunks"
+      rep.Session.chunks_downloaded;
+  (* On a 100 Mbps link the estimator should climb well above the
+     lowest rung. *)
+  if rep.Session.avg_chunk_bitrate_mbps < 5.0 then
+    Alcotest.failf "estimator never climbed: %.2f Mbps"
+      rep.Session.avg_chunk_bitrate_mbps
+
+let abr_suite =
+  [
+    ("abr throughput budget", `Quick, test_abr_throughput_picks_under_budget);
+    ("abr abstains full", `Quick, test_abr_throughput_abstains_when_full);
+    ("abr forced", `Quick, test_abr_forced_level);
+    ("harmonic tracker", `Quick, test_harmonic_mean_tracker);
+    ("session throughput-abr", `Slow, test_session_with_throughput_abr);
+  ]
+
+let suite =
+  [
+    ("video properties", `Quick, test_video_properties);
+    ("video 1080p ladder", `Quick, test_video_1080p_tops_at_10);
+    ("video chunk bytes", `Quick, test_video_chunk_bytes);
+    ("video corpus deterministic", `Quick, test_video_corpus_deterministic);
+    ("bola empty -> lowest", `Quick, test_bola_empty_buffer_lowest);
+    ("bola monotone", `Quick, test_bola_monotone_in_buffer);
+    ("bola abstains when full", `Quick, test_bola_abstains_when_full);
+    ("bola forced level", `Quick, test_bola_forced_level);
+    ("playback consumption", `Quick, test_playback_consumes_in_real_time);
+    ("playback stall accounting", `Quick, test_playback_stalls_and_rebuffers);
+    ("playback before start", `Quick, test_playback_no_rebuffer_before_start);
+    ("playback capacity", `Quick, test_playback_capacity_clamp);
+    ("playback ratio", `Quick, test_playback_ratio);
+    ("policy rule 1", `Quick, test_policy_initial_sufficient_rate);
+    ("policy rule 2", `Quick, test_policy_buffer_limit);
+    ("policy rule 3", `Quick, test_policy_emergency_overrides);
+    ("session fast link", `Slow, test_session_streams_on_fast_link);
+    ("session starved link", `Slow, test_session_starved_link_rebuffers);
+    ("session hybrid", `Slow, test_session_hybrid_runs);
+  ]
+  @ abr_suite

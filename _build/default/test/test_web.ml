@@ -1,0 +1,86 @@
+(* Tests for the web page-load substrate. *)
+
+open Proteus_web
+module Net = Proteus_net
+
+let test_corpus_sizes_sane () =
+  let pages = Page.corpus ~n:30 () in
+  Alcotest.(check int) "30 pages" 30 (List.length pages);
+  List.iter
+    (fun p ->
+      if p.Page.bytes < 200_000 || p.Page.bytes > 8_000_000 then
+        Alcotest.failf "%s size %d out of range" p.Page.name p.Page.bytes)
+    pages;
+  List.iter
+    (fun p ->
+      if p.Page.objects < 15 || p.Page.objects > 80 then
+        Alcotest.failf "%s objects %d out of range" p.Page.name p.Page.objects)
+    pages
+
+let test_corpus_deterministic () =
+  let a = Page.corpus ~n:10 () and b = Page.corpus ~n:10 () in
+  List.iter2
+    (fun x y -> Alcotest.(check int) "size" x.Page.bytes y.Page.bytes)
+    a b
+
+let test_total_bytes () =
+  let pages =
+    [ { Page.name = "a"; bytes = 10; objects = 1 };
+      { Page.name = "b"; bytes = 5; objects = 1 } ]
+  in
+  Alcotest.(check int) "sum" 15 (Page.total_bytes pages)
+
+let test_load_test_completes_pages () =
+  let cfg = Net.Link.config ~bandwidth_mbps:100.0 ~rtt_ms:30.0
+      ~buffer_bytes:900_000 () in
+  let r = Net.Runner.create cfg in
+  let results =
+    Load_test.run r
+      ~pages:(Page.corpus ~n:10 ())
+      ~factory:(Proteus_cc.Cubic.factory ())
+      ~request_rate_per_sec:0.2 ~from_time:0.0 ~until:120.0
+  in
+  Net.Runner.run r ~until:150.0;
+  let plts = Load_test.load_times !results in
+  if Array.length plts < 10 then
+    Alcotest.failf "only %d pages completed" (Array.length plts);
+  Array.iter
+    (fun t ->
+      if t <= 0.0 || t > 30.0 then Alcotest.failf "odd load time %.2f" t;
+      (* Wave-gated fetches cannot beat ~4 round trips. *)
+      if t < 0.1 then Alcotest.failf "implausibly fast load %.3f" t)
+    plts
+
+let test_load_test_slower_with_congestion () =
+  let run_with background =
+    let cfg = Net.Link.config ~bandwidth_mbps:20.0 ~rtt_ms:30.0
+        ~buffer_bytes:300_000 () in
+    let r = Net.Runner.create cfg in
+    if background then
+      ignore
+        (Net.Runner.add_flow r ~label:"bg"
+           ~factory:(Proteus_cc.Cubic.factory ()));
+    let results =
+      Load_test.run r
+        ~pages:(Page.corpus ~n:5 ())
+        ~factory:(Proteus_cc.Cubic.factory ())
+        ~request_rate_per_sec:0.1 ~from_time:5.0 ~until:100.0
+    in
+    Net.Runner.run r ~until:150.0;
+    let plts = Load_test.load_times !results in
+    Proteus_stats.Descriptive.median plts
+  in
+  let clean = run_with false in
+  let congested = run_with true in
+  if congested <= clean then
+    Alcotest.failf "background CUBIC should slow page loads: %.2f vs %.2f"
+      clean congested
+
+let suite =
+  [
+    ("corpus sizes", `Quick, test_corpus_sizes_sane);
+    ("corpus deterministic", `Quick, test_corpus_deterministic);
+    ("total bytes", `Quick, test_total_bytes);
+    ("load test completes", `Slow, test_load_test_completes_pages);
+    ("congestion slows loads", `Slow, test_load_test_slower_with_congestion);
+  ]
