@@ -4,6 +4,7 @@
 
 module Net = Proteus_net
 module Stats = Proteus_stats
+module Pool = Proteus_parallel.Pool
 module D = Stats.Descriptive
 
 (* ---------- global scaling ---------- *)
@@ -18,6 +19,29 @@ let pick ~fast ~default ~full =
 let trials () = pick ~fast:1 ~default:3 ~full:10
 let single_duration () = pick ~fast:25.0 ~default:60.0 ~full:100.0
 let pair_duration () = pick ~fast:40.0 ~default:80.0 ~full:140.0
+
+(* ---------- multicore fan-out ---------- *)
+
+(* Worker pool shared by every experiment; sized by `--jobs N`
+   (default 1 = fully sequential). Trials and protocol sweeps are pure
+   functions of their seeds and [par_map] preserves input order, so the
+   parallel results are bit-identical to the sequential ones. *)
+
+let jobs = ref 1
+let pool : Pool.t option ref = ref None
+
+let set_jobs n =
+  let n = max 1 n in
+  jobs := n;
+  (match !pool with Some p -> Pool.shutdown p | None -> ());
+  pool := (if n > 1 then Some (Pool.create ~jobs:n) else None)
+
+let shutdown_pool () =
+  (match !pool with Some p -> Pool.shutdown p | None -> ());
+  pool := None
+
+let par_map f xs =
+  match !pool with Some p -> Pool.map p f xs | None -> List.map f xs
 
 (* ---------- protocol registry ---------- *)
 
@@ -84,7 +108,7 @@ let single_run ?(seed = 1) ?loss_rate ?noise ?(bandwidth_mbps = 50.0)
   }
 
 let avg_trials n f =
-  let xs = List.init n (fun i -> f (i + 1)) in
+  let xs = par_map f (List.init n (fun i -> i + 1)) in
   D.mean (Array.of_list xs)
 
 let single_avg ?loss_rate ?noise ?bandwidth_mbps ?rtt_ms ?buffer_bytes
@@ -155,9 +179,11 @@ let pair_avg ?loss_rate ?noise ?bandwidth_mbps ?rtt_ms ?buffer_bytes ~primary
     ~scavenger () =
   let n = trials () in
   let runs =
-    List.init n (fun i ->
+    par_map
+      (fun i ->
         pair_run ~seed:((i * 17) + 1) ?loss_rate ?noise ?bandwidth_mbps ?rtt_ms
           ?buffer_bytes ~primary:primary.make ~scavenger:scavenger.make ())
+      (List.init n (fun i -> i))
   in
   let avg f = D.mean (Array.of_list (List.map f runs)) in
   {

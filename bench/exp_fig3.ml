@@ -15,9 +15,11 @@ let buffers_kb () =
 let run_one (p : Exp_common.proto) ~buffer_kb =
   let n = Exp_common.trials () in
   let runs =
-    List.init n (fun i ->
+    Exp_common.par_map
+      (fun i ->
         Exp_common.single_run ~seed:(i + 1)
           ~buffer_bytes:(Net.Units.kb buffer_kb) (p.Exp_common.make ()))
+      (List.init n (fun i -> i))
   in
   let avg f = D.mean (Array.of_list (List.map f runs)) in
   let tput = avg (fun (r : Exp_common.single_summary) -> r.tput_mbps) in
@@ -38,7 +40,7 @@ let run ?(appendix = false) () =
   let lineup = if appendix then Exp_common.lineup_b else Exp_common.lineup in
   let buffers = buffers_kb () in
   let results =
-    List.map
+    Exp_common.par_map
       (fun p ->
         (p, List.map (fun b -> run_one p ~buffer_kb:b) buffers))
       lineup

@@ -22,24 +22,32 @@ let run ?(appendix = false) () =
   Printf.printf "%-12s" "protocol";
   List.iter (fun l -> Printf.printf "%9.3f%%" (100.0 *. l)) rates;
   print_newline ();
+  (* Compute all rows first (fanned across domains when --jobs > 1),
+     then print in lineup order. *)
+  let rows =
+    Exp_common.par_map
+      (fun (p : Exp_common.proto) ->
+        let row =
+          List.map
+            (fun loss_rate ->
+              let n = Exp_common.trials () in
+              D.mean
+                (Array.of_list
+                   (List.init n (fun i ->
+                        (Exp_common.single_run ~seed:(i + 1) ~loss_rate
+                           (p.Exp_common.make ()))
+                          .Exp_common.tput_mbps))))
+            rates
+        in
+        (p, row))
+      lineup
+  in
   List.iter
-    (fun (p : Exp_common.proto) ->
+    (fun ((p : Exp_common.proto), row) ->
       Printf.printf "%-12s" p.Exp_common.name;
-      List.iter
-        (fun loss_rate ->
-          let n = Exp_common.trials () in
-          let tput =
-            D.mean
-              (Array.of_list
-                 (List.init n (fun i ->
-                      (Exp_common.single_run ~seed:(i + 1) ~loss_rate
-                         (p.Exp_common.make ()))
-                        .Exp_common.tput_mbps)))
-          in
-          Printf.printf "%10.2f" tput)
-        rates;
+      List.iter (fun tput -> Printf.printf "%10.2f" tput) row;
       print_newline ())
-    lineup;
+    rows;
   Printf.printf
     "\nShape check: LEDBAT degrades sharply from the smallest loss rates;\n\
      Proteus/Vivace hold throughput to ~5%%; BBR and COPA are insensitive.\n"

@@ -85,12 +85,18 @@ let run ?(appendix = false) () =
   Printf.printf "%-12s" "protocol";
   List.iter (fun n -> Printf.printf "  n=%-4d" n) counts;
   print_newline ();
+  let rows =
+    Exp_common.par_map
+      (fun (p : Exp_common.proto) ->
+        (p, List.map (fun n -> fairness p ~n ~seed:1) counts))
+      lineup
+  in
   List.iter
-    (fun (p : Exp_common.proto) ->
+    (fun ((p : Exp_common.proto), row) ->
       Printf.printf "%-12s" p.Exp_common.name;
-      List.iter (fun n -> Printf.printf "  %.3f " (fairness p ~n ~seed:1)) counts;
+      List.iter (fun j -> Printf.printf "  %.3f " j) row;
       print_newline ())
-    lineup;
+    rows;
   Printf.printf
     "\nShape check: primaries stay ~0.97+; Proteus-S stays well above\n\
      LEDBAT at every n; LEDBAT declines with n (latecomer unfairness)\n\

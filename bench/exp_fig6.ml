@@ -7,13 +7,28 @@
 module Net = Proteus_net
 module D = Proteus_stats.Descriptive
 
-(* Primary-alone runs are shared across scavengers: memoize. *)
+(* Primary-alone runs are shared across scavengers: memoize. The mutex
+   keeps the table safe when scavenger columns run on separate domains;
+   a duplicated miss is harmless (same seed -> same value). *)
 let alone_cache : (string * int * int, float * float) Hashtbl.t =
   Hashtbl.create 64
 
+let alone_cache_mutex = Mutex.create ()
+
+let cache_find key =
+  Mutex.lock alone_cache_mutex;
+  let v = Hashtbl.find_opt alone_cache key in
+  Mutex.unlock alone_cache_mutex;
+  v
+
+let cache_store key v =
+  Mutex.lock alone_cache_mutex;
+  Hashtbl.replace alone_cache key v;
+  Mutex.unlock alone_cache_mutex
+
 let alone_run (p : Exp_common.proto) ~buffer_bytes ~seed =
   let key = (p.Exp_common.name, buffer_bytes, seed) in
-  match Hashtbl.find_opt alone_cache key with
+  match cache_find key with
   | Some v -> v
   | None ->
       let duration = Exp_common.pair_duration () in
@@ -28,7 +43,7 @@ let alone_run (p : Exp_common.proto) ~buffer_bytes ~seed =
         Option.value ~default:0.0
           (Net.Flow_stats.rtt_percentile st ~t0 ~t1:duration ~p:95.0)
       in
-      Hashtbl.replace alone_cache key (tput, p95);
+      cache_store key (tput, p95);
       (tput, p95)
 
 type cell = {
@@ -42,7 +57,8 @@ let compete ~(primary : Exp_common.proto) ~(scavenger : Exp_common.proto)
     ~buffer_bytes =
   let n = Exp_common.trials () in
   let cells =
-    List.init n (fun i ->
+    Exp_common.par_map
+      (fun i ->
         let seed = (i * 13) + 1 in
         let alone_tput, alone_p95 = alone_run primary ~buffer_bytes ~seed in
         let duration = Exp_common.pair_duration () in
@@ -75,6 +91,7 @@ let compete ~(primary : Exp_common.proto) ~(scavenger : Exp_common.proto)
           rtt_ratio = (if alone_p95 > 0.0 then p95 /. alone_p95 else 0.0);
           scav_tput = scav;
         })
+      (List.init n (fun i -> i))
   in
   let avg f = D.mean (Array.of_list (List.map f cells)) in
   {
@@ -98,7 +115,7 @@ let run ?(appendix = false) () =
   in
   Exp_common.header title;
   let results =
-    List.map
+    Exp_common.par_map
       (fun scav ->
         ( scav,
           List.map

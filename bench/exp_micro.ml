@@ -1,20 +1,47 @@
 (* Bechamel microbenchmarks of the simulator's hot paths: event heap
-   churn, link admission, MI metric extraction, utility evaluation, and
-   a full simulated second of a loaded bottleneck. *)
+   churn, pooled-kernel schedule/fire, link admission, MI metric
+   extraction, utility evaluation, and a full simulated second of a
+   loaded bottleneck.
+
+   Besides wall-clock (ns/run) this measures the minor-heap allocation
+   witness (words/run) and emits both to `BENCH_micro.json` so the perf
+   trajectory is machine-checkable across PRs. *)
 
 open Bechamel
 module Net = Proteus_net
+module Heap = Proteus_eventsim.Heap
+module Sim = Proteus_eventsim.Sim
 
+(* The heap and slot are reused across runs to exercise the steady
+   state: push/pop through the SoA arrays + pop_into must not allocate. *)
 let heap_test =
+  let h : int Heap.t = Heap.create () in
+  let slot = Heap.make_slot ~time:0.0 0 in
   Test.make ~name:"heap push+pop x100"
     (Staged.stage (fun () ->
-         let h = Proteus_eventsim.Heap.create () in
          for i = 0 to 99 do
-           Proteus_eventsim.Heap.push h ~time:(float_of_int (i * 7919 mod 100)) i
+           Heap.push h ~time:(float_of_int (i * 7919 mod 100)) i
          done;
          for _ = 0 to 99 do
-           ignore (Proteus_eventsim.Heap.pop h)
+           ignore (Heap.pop_into h slot)
          done))
+
+(* Steady-state event kernel: schedule 100 events through the pooled
+   at_fn fast path and drain them. The sim is reused, so every event
+   recycles a free-list cell. *)
+let sim_kernel_test =
+  let sim = Sim.create () in
+  let sink = ref 0 in
+  let bump i = sink := !sink + i in
+  Test.make ~name:"sim at_fn schedule+fire x100"
+    (Staged.stage (fun () ->
+         let base = Sim.now sim in
+         for i = 0 to 99 do
+           Sim.at_fn sim
+             ~time:(base +. (float_of_int (i * 7919 mod 100) *. 1e-6))
+             ~fn:bump ~arg:i
+         done;
+         Sim.run sim))
 
 let link_test =
   let cfg =
@@ -77,14 +104,57 @@ let sim_second_test =
 
 let tests =
   Test.make_grouped ~name:"pcc-proteus"
-    [ heap_test; link_test; mi_test; utility_test; sim_second_test ]
+    [
+      heap_test; sim_kernel_test; link_test; mi_test; utility_test;
+      sim_second_test;
+    ]
+
+let estimate tbl name =
+  match Hashtbl.find_opt tbl name with
+  | None -> None
+  | Some result -> (
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Some est
+      | _ -> None)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num = function
+  | Some v when Float.is_finite v -> Printf.sprintf "%.3f" v
+  | _ -> "null"
+
+let emit_json rows =
+  let oc = open_out "BENCH_micro.json" in
+  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-micro/1\",\n";
+  output_string oc "  \"unit\": {\"time\": \"ns/run\", \"allocs\": \"minor-words/run\"},\n";
+  output_string oc "  \"results\": [\n";
+  List.iteri
+    (fun i (name, ns, words) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"minor_words_per_run\": %s}%s\n"
+        (json_escape name) (json_num ns) (json_num words)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc
 
 let run () =
   Exp_common.header "Microbenchmarks (bechamel)";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let instances = Toolkit.Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
@@ -93,10 +163,28 @@ let run () =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let merged = Analyze.merge ols instances results in
-  let clock = Hashtbl.find merged (Measure.label Toolkit.Instance.monotonic_clock) in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
-      | _ -> Printf.printf "%-40s (no estimate)\n" name)
-    clock
+  let clock =
+    Hashtbl.find merged (Measure.label Toolkit.Instance.monotonic_clock)
+  in
+  let allocs =
+    Hashtbl.find merged (Measure.label Toolkit.Instance.minor_allocated)
+  in
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) clock []
+    |> List.sort_uniq compare
+  in
+  let rows =
+    List.map (fun name -> (name, estimate clock name, estimate allocs name))
+      names
+  in
+  Printf.printf "%-44s %14s %18s\n" "benchmark" "ns/run" "minor-words/run";
+  List.iter
+    (fun (name, ns, words) ->
+      let str = function
+        | Some v when Float.is_finite v -> Printf.sprintf "%.1f" v
+        | _ -> "n/a"
+      in
+      Printf.printf "%-44s %14s %18s\n" name (str ns) (str words))
+    rows;
+  emit_json rows;
+  Printf.printf "\n(wrote BENCH_micro.json)\n"

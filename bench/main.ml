@@ -1,9 +1,13 @@
 (* Benchmark harness: one entry per paper figure (see DESIGN.md's
    per-experiment index).
 
-   Usage:  dune exec bench/main.exe -- [--fast|--full] [ids...]
+   Usage:  dune exec bench/main.exe -- [--fast|--full] [--jobs N] [ids...]
    ids: fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig11 fig12 fig14
-        appendix theory ablation micro all (default: all) *)
+        appendix theory ablation micro all (default: all)
+
+   --jobs N fans independent trials/protocol runs across N domains;
+   results are bit-identical to --jobs 1 (every trial owns its seeded
+   RNG and par_map preserves ordering). *)
 
 let experiments : (string * (unit -> unit)) list =
   [
@@ -31,29 +35,48 @@ let appendix_ids =
   [ "figB-buffers"; "figB-loss"; "figB-fairness"; "figB-yield"; "figB-wifi" ]
 
 let usage () =
-  Printf.printf "usage: main.exe [--fast|--full] [ids...]\nids:\n";
+  Printf.printf "usage: main.exe [--fast|--full] [--jobs N] [ids...]\nids:\n";
   List.iter (fun (id, _) -> Printf.printf "  %s\n" id) experiments;
   Printf.printf "  appendix (= %s)\n  all (default)\n"
-    (String.concat " " appendix_ids)
+    (String.concat " " appendix_ids);
+  Printf.printf
+    "options:\n\
+    \  --jobs N   run independent trials/protocols on N domains\n\
+    \             (N=0 picks the recommended domain count)\n"
+
+let parse_jobs s =
+  match int_of_string_opt s with
+  | Some 0 -> Proteus_parallel.Pool.default_jobs ()
+  | Some n when n > 0 -> n
+  | _ ->
+      Printf.eprintf "--jobs expects a non-negative integer, got %S\n" s;
+      exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let ids =
-    List.filter_map
-      (fun a ->
-        match a with
-        | "--fast" ->
-            Exp_common.scale := Exp_common.Fast;
-            None
-        | "--full" ->
-            Exp_common.scale := Exp_common.Full;
-            None
-        | "--help" | "-h" ->
-            usage ();
-            exit 0
-        | id -> Some id)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--fast" :: rest ->
+        Exp_common.scale := Exp_common.Fast;
+        parse acc rest
+    | "--full" :: rest ->
+        Exp_common.scale := Exp_common.Full;
+        parse acc rest
+    | "--jobs" :: n :: rest ->
+        Exp_common.set_jobs (parse_jobs n);
+        parse acc rest
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs expects an argument\n";
+        exit 1
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        Exp_common.set_jobs (parse_jobs (String.sub a 7 (String.length a - 7)));
+        parse acc rest
+    | id :: rest -> parse (id :: acc) rest
   in
+  let ids = parse [] args in
   let ids = if ids = [] then [ "all" ] else ids in
   let ids =
     List.concat_map
@@ -77,9 +100,11 @@ let () =
           usage ();
           exit 1)
     ids;
-  Printf.printf "\nTotal: %.1f s (scale: %s)\n"
+  Printf.printf "\nTotal: %.1f s (scale: %s, jobs: %d)\n"
     (Unix.gettimeofday () -. t_start)
     (match !Exp_common.scale with
     | Exp_common.Fast -> "fast"
     | Exp_common.Default -> "default"
     | Exp_common.Full -> "full")
+    !Exp_common.jobs;
+  Exp_common.shutdown_pool ()

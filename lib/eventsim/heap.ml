@@ -1,72 +1,160 @@
-type 'a entry = { time : float; order : int; payload : 'a }
+(* Structure-of-arrays binary min-heap. Times live in an unboxed
+   [float array] and tie-break counters in an [int array], so the hot
+   push/pop path touches flat arrays only — no per-entry record, no
+   boxing. Payloads sit in a third parallel array. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable times : float array;
+  mutable orders : int array;
+  mutable payloads : 'a array;
   mutable size : int;
   mutable next_order : int;
 }
 
-let create () = { data = [||]; size = 0; next_order = 0 }
+type 'a slot = { mutable time : float; mutable payload : 'a }
+
+let make_slot ~time payload = { time; payload }
+
+let create () =
+  { times = [||]; orders = [||]; payloads = [||]; size = 0; next_order = 0 }
+
 let is_empty t = t.size = 0
 let length t = t.size
 
-let less a b = a.time < b.time || (a.time = b.time && a.order < b.order)
-
-let grow t entry =
-  let cap = Array.length t.data in
+(* Grow all three arrays; [payload] seeds the fresh payload cells (the
+   payload array cannot be created without a witness element). *)
+let ensure_capacity t payload =
+  let cap = Array.length t.times in
   if t.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let ndata = Array.make ncap entry in
-    Array.blit t.data 0 ndata 0 t.size;
-    t.data <- ndata
+    let ntimes = Array.make ncap 0.0 in
+    let norders = Array.make ncap 0 in
+    let npayloads = Array.make ncap payload in
+    Array.blit t.times 0 ntimes 0 t.size;
+    Array.blit t.orders 0 norders 0 t.size;
+    Array.blit t.payloads 0 npayloads 0 t.size;
+    t.times <- ntimes;
+    t.orders <- norders;
+    t.payloads <- npayloads
   end
 
+(* The sift loops hold the moving element in locals and shift blockers
+   into the hole (one triple-store per level instead of a triple-swap),
+   writing the element once at its final position. *)
+
 let push t ~time payload =
-  let entry = { time; order = t.next_order; payload } in
-  t.next_order <- t.next_order + 1;
-  grow t entry;
-  t.data.(t.size) <- entry;
+  ensure_capacity t payload;
+  let ord = t.next_order in
+  t.next_order <- ord + 1;
+  let times = t.times and orders = t.orders and payloads = t.payloads in
+  let i = ref t.size in
   t.size <- t.size + 1;
-  (* sift up *)
-  let i = ref (t.size - 1) in
-  while
-    !i > 0
-    &&
-    let parent = (!i - 1) / 2 in
-    less t.data.(!i) t.data.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = t.data.(!i) in
-    t.data.(!i) <- t.data.(parent);
-    t.data.(parent) <- tmp;
-    i := parent
-  done
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pt = Array.unsafe_get times p in
+    if time < pt || (time = pt && ord < Array.unsafe_get orders p) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set orders !i (Array.unsafe_get orders p);
+      Array.unsafe_set payloads !i (Array.unsafe_get payloads p);
+      i := p
+    end
+    else continue := false
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set orders !i ord;
+  Array.unsafe_set payloads !i payload
+
+(* Sink the element currently at [start] to its place. *)
+let sift_down t start =
+  let size = t.size in
+  let times = t.times and orders = t.orders and payloads = t.payloads in
+  let time = Array.unsafe_get times start in
+  let ord = Array.unsafe_get orders start in
+  let payload = Array.unsafe_get payloads start in
+  let i = ref start in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= size then continue := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < size then begin
+          let lt = Array.unsafe_get times l and rt = Array.unsafe_get times r in
+          if
+            rt < lt
+            || (rt = lt && Array.unsafe_get orders r < Array.unsafe_get orders l)
+          then r
+          else l
+        end
+        else l
+      in
+      let ct = Array.unsafe_get times c in
+      if ct < time || (ct = time && Array.unsafe_get orders c < ord) then begin
+        Array.unsafe_set times !i ct;
+        Array.unsafe_set orders !i (Array.unsafe_get orders c);
+        Array.unsafe_set payloads !i (Array.unsafe_get payloads c);
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set orders !i ord;
+  Array.unsafe_set payloads !i payload
+
+let top_time t =
+  if t.size = 0 then invalid_arg "Heap.top_time: empty heap";
+  t.times.(0)
+
+let top t =
+  if t.size = 0 then invalid_arg "Heap.top: empty heap";
+  t.payloads.(0)
+
+let remove_top t =
+  if t.size = 0 then invalid_arg "Heap.remove_top: empty heap";
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then begin
+    t.times.(0) <- t.times.(last);
+    t.orders.(0) <- t.orders.(last);
+    t.payloads.(0) <- t.payloads.(last);
+    sift_down t 0
+  end
+
+let pop_into t slot =
+  if t.size = 0 then false
+  else begin
+    slot.time <- t.times.(0);
+    slot.payload <- t.payloads.(0);
+    remove_top t;
+    true
+  end
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.data.(!i) in
-          t.data.(!i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
+    let time = t.times.(0) and payload = t.payloads.(0) in
+    remove_top t;
+    Some (time, payload)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.data.(0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
+
+let filter_in_place t pred =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    if pred t.payloads.(i) then begin
+      t.times.(!j) <- t.times.(i);
+      t.orders.(!j) <- t.orders.(i);
+      t.payloads.(!j) <- t.payloads.(i);
+      incr j
+    end
+  done;
+  t.size <- !j;
+  (* Bottom-up heapify; insertion orders are preserved, so equal-time
+     FIFO semantics survive compaction. *)
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done

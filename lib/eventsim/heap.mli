@@ -1,8 +1,14 @@
-(** Array-backed binary min-heap keyed by [(time, tiebreak)].
+(** Structure-of-arrays binary min-heap keyed by [(time, tiebreak)].
 
-    The tiebreak is a monotonically increasing insertion counter so
-    that simultaneous events fire in FIFO order — important for
-    reproducibility of packet-level simulations. *)
+    Times are stored in an unboxed [float array] and tie-break counters
+    in an [int array]; payloads live in a third parallel array. The
+    tiebreak is a monotonically increasing insertion counter so that
+    simultaneous events fire in FIFO order — important for
+    reproducibility of packet-level simulations.
+
+    The {!top} / {!remove_top} / {!pop_into} path performs no
+    allocation; {!pop} is a compatibility wrapper that boxes its
+    result. *)
 
 type 'a t
 
@@ -11,10 +17,35 @@ val is_empty : 'a t -> bool
 val length : 'a t -> int
 
 val push : 'a t -> time:float -> 'a -> unit
-(** Insert a payload keyed by [time]. *)
+(** Insert a payload keyed by [time]. Amortised O(log n), allocation
+    free except when the backing arrays grow. *)
+
+val top_time : 'a t -> float
+(** Time of the earliest event. @raise Invalid_argument when empty. *)
+
+val top : 'a t -> 'a
+(** Payload of the earliest event. @raise Invalid_argument when empty. *)
+
+val remove_top : 'a t -> unit
+(** Drop the earliest event. @raise Invalid_argument when empty. *)
+
+type 'a slot = { mutable time : float; mutable payload : 'a }
+(** Reusable receptacle for {!pop_into}. *)
+
+val make_slot : time:float -> 'a -> 'a slot
+
+val pop_into : 'a t -> 'a slot -> bool
+(** Pop the earliest event into a caller-owned slot without allocating.
+    Returns [false] (slot untouched) when the heap is empty. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest event, [None] when empty. *)
+(** Remove and return the earliest event, [None] when empty.
+    Compatibility path: allocates the tuple and option. *)
 
 val peek_time : 'a t -> float option
 (** Time of the earliest event without removing it. *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Drop every entry whose payload fails the predicate, then restore
+    the heap invariant. Insertion orders are preserved so equal-time
+    FIFO order is unaffected. O(n). *)

@@ -1,42 +1,185 @@
-type event = { handler : unit -> unit; mutable live : bool }
-type t = { mutable clock : float; queue : event Heap.t }
-type cancel = event
+(* Event kernel with a free-list event pool.
 
-let create () = { clock = 0.0; queue = Heap.create () }
+   Every scheduled event occupies a pooled cell: a reusable callback
+   [int -> unit] plus an unboxed [int] argument, both held in parallel
+   arrays indexed by the cell id. The heap stores only the id, so the
+   steady-state schedule/fire cycle allocates nothing — a recycled cell
+   is reused instead of allocating a record + closure pair.
+
+   Plain thunks ([unit -> unit], the {!at}/{!after} interface) are
+   stored in a parallel [thunks] array and dispatched through a single
+   per-sim trampoline, so they ride the same pooled machinery. *)
+
+let noop_fn (_ : int) = ()
+let noop_thunk () = ()
+
+(* Cell states, one byte per cell. *)
+let st_free = '\000'
+let st_live = '\001'
+let st_cancelled = '\002'
+
+type t = {
+  mutable clock : float;
+  queue : int Heap.t; (* payload = event cell id *)
+  mutable fns : (int -> unit) array;
+  mutable args : int array;
+  mutable thunks : (unit -> unit) array;
+  mutable state : Bytes.t;
+  mutable gens : int array; (* bumped on release; guards stale cancels *)
+  mutable free : int array; (* stack of free cell ids *)
+  mutable free_len : int;
+  mutable dead : int; (* cancelled events still sitting in the heap *)
+  mutable trampoline : int -> unit;
+}
+
+type cancel = { sim : t; id : int; gen : int }
+
+let create () =
+  let t =
+    {
+      clock = 0.0;
+      queue = Heap.create ();
+      fns = [||];
+      args = [||];
+      thunks = [||];
+      state = Bytes.empty;
+      gens = [||];
+      free = [||];
+      free_len = 0;
+      dead = 0;
+      trampoline = noop_fn;
+    }
+  in
+  t.trampoline <- (fun id -> t.thunks.(id) ());
+  t
+
 let now t = t.clock
 
+let grow_pool t =
+  let cap = Array.length t.args in
+  let ncap = max 16 (2 * cap) in
+  let grow_fn a fill =
+    let n = Array.make ncap fill in
+    Array.blit a 0 n 0 cap;
+    n
+  in
+  t.fns <- grow_fn t.fns noop_fn;
+  t.args <- grow_fn t.args 0;
+  t.thunks <- grow_fn t.thunks noop_thunk;
+  t.gens <- grow_fn t.gens 0;
+  let nstate = Bytes.make ncap st_free in
+  Bytes.blit t.state 0 nstate 0 cap;
+  t.state <- nstate;
+  let nfree = Array.make ncap 0 in
+  Array.blit t.free 0 nfree 0 t.free_len;
+  t.free <- nfree;
+  for id = cap to ncap - 1 do
+    t.free.(t.free_len) <- id;
+    t.free_len <- t.free_len + 1
+  done
+
+let alloc_cell t =
+  if t.free_len = 0 then grow_pool t;
+  t.free_len <- t.free_len - 1;
+  let id = t.free.(t.free_len) in
+  Bytes.unsafe_set t.state id st_live;
+  id
+
+(* Return a cell to the free list. Clears the callback slots so the
+   pool does not retain the handler closures, and bumps the generation
+   so outstanding cancel handles become inert. *)
+let release_cell t id =
+  t.fns.(id) <- noop_fn;
+  t.thunks.(id) <- noop_thunk;
+  Bytes.unsafe_set t.state id st_free;
+  t.gens.(id) <- t.gens.(id) + 1;
+  t.free.(t.free_len) <- id;
+  t.free_len <- t.free_len + 1
+
+let at_fn t ~time ~fn ~arg =
+  let time = if time < t.clock then t.clock else time in
+  let id = alloc_cell t in
+  t.fns.(id) <- fn;
+  t.args.(id) <- arg;
+  Heap.push t.queue ~time id
+
 let at t ~time handler =
-  let time = Float.max time t.clock in
-  Heap.push t.queue ~time { handler; live = true }
+  let time = if time < t.clock then t.clock else time in
+  let id = alloc_cell t in
+  t.fns.(id) <- t.trampoline;
+  t.args.(id) <- id;
+  t.thunks.(id) <- handler;
+  Heap.push t.queue ~time id
 
 let after t ~delay handler = at t ~time:(t.clock +. Float.max 0.0 delay) handler
 
 let at_cancellable t ~time handler =
-  let time = Float.max time t.clock in
-  let ev = { handler; live = true } in
-  Heap.push t.queue ~time ev;
-  ev
+  let time = if time < t.clock then t.clock else time in
+  let id = alloc_cell t in
+  t.fns.(id) <- t.trampoline;
+  t.args.(id) <- id;
+  t.thunks.(id) <- handler;
+  let handle = { sim = t; id; gen = t.gens.(id) } in
+  Heap.push t.queue ~time id;
+  handle
 
-let cancel ev = ev.live <- false
+(* Drop every cancelled event from the heap and recycle its cell.
+   Insertion order of survivors is preserved (FIFO ties intact). *)
+let compact t =
+  Heap.filter_in_place t.queue (fun id ->
+      if Bytes.get t.state id = st_live then true
+      else begin
+        release_cell t id;
+        false
+      end);
+  t.dead <- 0
+
+let cancel { sim = t; id; gen } =
+  if t.gens.(id) = gen && Bytes.get t.state id = st_live then begin
+    Bytes.set t.state id st_cancelled;
+    (* Drop handler references now; the cell itself is reclaimed either
+       by compaction or when its fire time is reached. *)
+    t.fns.(id) <- noop_fn;
+    t.thunks.(id) <- noop_thunk;
+    t.dead <- t.dead + 1;
+    if t.dead > Heap.length t.queue / 2 then compact t
+  end
 
 let run ?until t =
+  let queue = t.queue in
   let continue = ref true in
   while !continue do
-    match Heap.peek_time t.queue with
-    | None ->
-        (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
-        continue := false
-    | Some time -> (
-        match until with
-        | Some u when time > u ->
-            t.clock <- u;
-            continue := false
-        | _ -> (
-            match Heap.pop t.queue with
-            | None -> continue := false
-            | Some (time, ev) ->
-                t.clock <- time;
-                if ev.live then ev.handler ()))
+    if Heap.is_empty queue then begin
+      (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
+      continue := false
+    end
+    else begin
+      let time = Heap.top_time queue in
+      match until with
+      | Some u when time > u ->
+          t.clock <- u;
+          continue := false
+      | _ ->
+          let id = Heap.top queue in
+          Heap.remove_top queue;
+          t.clock <- time;
+          if Bytes.unsafe_get t.state id = st_live then begin
+            let fn = t.fns.(id) and arg = t.args.(id) in
+            (* Invalidate outstanding cancel handles before dispatch so
+               a handler cancelling its own (already firing) event is a
+               no-op rather than corrupting the dead counter. *)
+            t.gens.(id) <- t.gens.(id) + 1;
+            fn arg;
+            release_cell t id
+          end
+          else begin
+            (* Cancelled event reached its fire time before compaction
+               kicked in: just reclaim the cell. *)
+            t.dead <- t.dead - 1;
+            release_cell t id
+          end
+    end
   done
 
-let pending t = Heap.length t.queue
+let pending t = Heap.length t.queue - t.dead
+let queued t = Heap.length t.queue

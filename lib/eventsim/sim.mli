@@ -1,8 +1,14 @@
-(** Simulation kernel: a virtual clock and a schedule of thunks.
+(** Simulation kernel: a virtual clock and a schedule of callbacks.
 
     Handlers scheduled with {!at} or {!after} run with the clock set to
     their firing time. The kernel is single-threaded and deterministic:
-    events at equal times fire in scheduling order. *)
+    events at equal times fire in scheduling order.
+
+    Internally every event occupies a cell in a free-list pool (a
+    reusable [int -> unit] callback plus an unboxed [int] argument);
+    the heap stores only cell ids. Scheduling through {!at_fn} with a
+    long-lived callback is therefore allocation free in steady state —
+    this is the hot path used by the packet-level scenario runner. *)
 
 type t
 
@@ -20,12 +26,23 @@ val after : t -> delay:float -> (unit -> unit) -> unit
 (** Schedule a handler [delay] seconds from now (negative delays clamp
     to zero). *)
 
+val at_fn : t -> time:float -> fn:(int -> unit) -> arg:int -> unit
+(** Allocation-free scheduling fast path: [fn] should be a reusable
+    (per-flow / per-subsystem) closure and [arg] identifies the piece
+    of work — typically an index into a caller-owned ring. Equivalent
+    to [at t ~time (fun () -> fn arg)] without the fresh closure. *)
+
 type cancel
 (** Handle for a cancellable event. *)
 
 val at_cancellable : t -> time:float -> (unit -> unit) -> cancel
+
 val cancel : cancel -> unit
-(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+(** Cancelling an already-fired or already-cancelled event is a no-op.
+    Cancelled events are dropped from the queue eagerly: when more than
+    half the queued events are dead the queue is compacted in place, so
+    cancel-heavy workloads (timer wheels, retransmission timers) do not
+    retain dead entries until their nominal fire time. *)
 
 val run : ?until:float -> t -> unit
 (** Drain the event queue, advancing the clock. With [?until], stop
@@ -33,4 +50,8 @@ val run : ?until:float -> t -> unit
     then set to [until]). *)
 
 val pending : t -> int
-(** Number of events still queued. *)
+(** Number of live (non-cancelled) events still queued. *)
+
+val queued : t -> int
+(** Number of heap entries including not-yet-compacted cancelled
+    events. Diagnostic; [queued t - pending t] is the dead count. *)

@@ -79,8 +79,12 @@ let throughput_series t ~bin ~until =
   for i = 0 to n - 1 do
     let time = Fvec.get t.ack_times i in
     if time < until then begin
-      let b = min (int_of_float (time /. bin)) (nbins - 1) in
-      acc.(b) <- acc.(b) +. Fvec.get t.ack_bytes i
+      (* Acks whose bin index lands at or past [nbins] (possible when
+         [time /. bin] rounds up against the window edge) are dropped
+         rather than clamped into the last bin, which would silently
+         inflate it. *)
+      let b = int_of_float (time /. bin) in
+      if b < nbins then acc.(b) <- acc.(b) +. Fvec.get t.ack_bytes i
     end
   done;
   Array.mapi

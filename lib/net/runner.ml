@@ -5,13 +5,20 @@ module Rng = Proteus_stats.Rng
    loop, so simultaneous events from other flows interleave fairly. *)
 let burst_cap = 64
 
+(* Per-flow in-flight packet state lives in a structure-of-arrays ring:
+   transmitting a packet fills a recycled slot and schedules one of two
+   reusable handlers (ack / loss) through [Sim.at_fn] with the slot
+   index as argument, so steady-state transmission allocates nothing —
+   the closure-per-packet pattern is gone. Slots are free-listed rather
+   than FIFO because ACK-path noise can reorder delivery times. *)
+
 type flow = {
   label : string;
   sender : Sender.packed;
   stats : Flow_stats.t;
   mutable next_seq : int;
-  mutable remaining : int option; (* bytes not yet handed to the link *)
-  total_bytes : int option;
+  mutable remaining : int; (* bytes not yet handed to the link; -1 = unbounded *)
+  total_bytes : int; (* -1 = bulk flow, never completes *)
   mutable acked_bytes : int;
   start : float;
   stop : float option;
@@ -22,6 +29,17 @@ type flow = {
   mutable completed_at : float option;
   on_complete : (now:float -> unit) option;
   on_ack_bytes : (now:float -> int -> unit) option;
+  (* In-flight ring (parallel arrays indexed by slot id). *)
+  mutable ring_seq : int array;
+  mutable ring_send : float array;
+  mutable ring_size : int array;
+  mutable ring_rtt : float array;
+  mutable ring_free : int array; (* stack of free slot ids *)
+  mutable ring_free_len : int;
+  (* Reusable event handlers, created once per flow in [add_flow]. *)
+  mutable ack_fn : int -> unit;
+  mutable loss_fn : int -> unit;
+  mutable poll_fn : int -> unit;
 }
 
 type t = {
@@ -49,14 +67,43 @@ let completion_time f = f.completed_at
 let sending_allowed t f =
   (not f.complete) && (not f.paused)
   && (match f.stop with Some s -> Sim.now t.sim < s | None -> true)
-  && match f.remaining with Some r -> r > 0 | None -> true
+  && f.remaining <> 0
+
+let acquire_slot f =
+  if f.ring_free_len = 0 then begin
+    let cap = Array.length f.ring_seq in
+    let ncap = max 32 (2 * cap) in
+    let grow_int a =
+      let n = Array.make ncap 0 in
+      Array.blit a 0 n 0 cap;
+      n
+    in
+    let grow_float a =
+      let n = Array.make ncap 0.0 in
+      Array.blit a 0 n 0 cap;
+      n
+    in
+    f.ring_seq <- grow_int f.ring_seq;
+    f.ring_size <- grow_int f.ring_size;
+    f.ring_send <- grow_float f.ring_send;
+    f.ring_rtt <- grow_float f.ring_rtt;
+    f.ring_free <- Array.make ncap 0;
+    for i = 0 to ncap - cap - 1 do
+      f.ring_free.(i) <- cap + i
+    done;
+    f.ring_free_len <- ncap - cap
+  end;
+  f.ring_free_len <- f.ring_free_len - 1;
+  f.ring_free.(f.ring_free_len)
+
+let release_slot f idx =
+  f.ring_free.(f.ring_free_len) <- idx;
+  f.ring_free_len <- f.ring_free_len + 1
 
 let rec schedule_poll t f ~time =
   if not f.poll_pending then begin
     f.poll_pending <- true;
-    Sim.at t.sim ~time (fun () ->
-        f.poll_pending <- false;
-        poll t f)
+    Sim.at_fn t.sim ~time ~fn:f.poll_fn ~arg:0
   end
 
 and poll t f =
@@ -81,22 +128,22 @@ and send_burst t f budget =
 
 and transmit t f budget =
   let now = Sim.now t.sim in
-  let size =
-    match f.remaining with
-    | Some r -> min r Units.mtu
-    | None -> Units.mtu
-  in
+  let size = if f.remaining >= 0 then min f.remaining Units.mtu else Units.mtu in
   let seq = f.next_seq in
   f.next_seq <- seq + 1;
-  (match f.remaining with Some r -> f.remaining <- Some (r - size) | None -> ());
-  f.stats |> fun st -> Flow_stats.record_sent st ~now ~size;
+  if f.remaining >= 0 then f.remaining <- f.remaining - size;
+  Flow_stats.record_sent f.stats ~now ~size;
   Sender.on_sent f.sender ~now ~seq ~size;
+  let idx = acquire_slot f in
+  f.ring_seq.(idx) <- seq;
+  f.ring_send.(idx) <- now;
+  f.ring_size.(idx) <- size;
   (match Link.transmit t.link ~now ~size with
   | Link.Delivered { ack_time; rtt } ->
-      Sim.at t.sim ~time:ack_time (fun () -> handle_ack t f ~seq ~send_time:now ~size ~rtt)
+      f.ring_rtt.(idx) <- rtt;
+      Sim.at_fn t.sim ~time:ack_time ~fn:f.ack_fn ~arg:idx
   | Link.Dropped { notify_time } ->
-      Sim.at t.sim ~time:notify_time (fun () ->
-          handle_loss t f ~seq ~send_time:now ~size));
+      Sim.at_fn t.sim ~time:notify_time ~fn:f.loss_fn ~arg:idx);
   send_burst t f (budget - 1)
 
 (* Re-arm the send loop after any ACK/loss: window senders unblock, and
@@ -112,12 +159,12 @@ and handle_ack t f ~seq ~send_time ~size ~rtt =
   Sender.on_ack f.sender ~now ~seq ~send_time ~size ~rtt;
   f.acked_bytes <- f.acked_bytes + size;
   (match f.on_ack_bytes with Some cb -> cb ~now size | None -> ());
-  (match f.total_bytes with
-  | Some total when (not f.complete) && f.acked_bytes >= total ->
-      f.complete <- true;
-      f.completed_at <- Some now;
-      (match f.on_complete with Some cb -> cb ~now | None -> ())
-  | _ -> ());
+  (if f.total_bytes >= 0 && (not f.complete) && f.acked_bytes >= f.total_bytes
+   then begin
+     f.complete <- true;
+     f.completed_at <- Some now;
+     match f.on_complete with Some cb -> cb ~now | None -> ()
+   end);
   kick t f
 
 and handle_loss t f ~seq ~send_time ~size =
@@ -126,22 +173,36 @@ and handle_loss t f ~seq ~send_time ~size =
   Sender.on_loss f.sender ~now ~seq ~send_time ~size;
   (* Reliable delivery for finite flows: the lost bytes re-enter the
      send budget (retransmission). *)
-  (match f.remaining with
-  | Some r when f.total_bytes <> None -> f.remaining <- Some (r + size)
-  | _ -> ());
+  if f.total_bytes >= 0 then f.remaining <- f.remaining + size;
   kick t f
+
+let on_ack_event t f idx =
+  let seq = f.ring_seq.(idx)
+  and send_time = f.ring_send.(idx)
+  and size = f.ring_size.(idx)
+  and rtt = f.ring_rtt.(idx) in
+  release_slot f idx;
+  handle_ack t f ~seq ~send_time ~size ~rtt
+
+let on_loss_event t f idx =
+  let seq = f.ring_seq.(idx)
+  and send_time = f.ring_send.(idx)
+  and size = f.ring_size.(idx) in
+  release_slot f idx;
+  handle_loss t f ~seq ~send_time ~size
 
 let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
     ~label ~factory =
   let env = { Sender.rng = Rng.split t.root_rng; mtu = Units.mtu } in
+  let bytes = match size_bytes with Some b -> b | None -> -1 in
   let f =
     {
       label;
       sender = factory env;
       stats = Flow_stats.create ();
       next_seq = 0;
-      remaining = size_bytes;
-      total_bytes = size_bytes;
+      remaining = bytes;
+      total_bytes = bytes;
       acked_bytes = 0;
       start;
       stop;
@@ -152,8 +213,23 @@ let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
       completed_at = None;
       on_complete;
       on_ack_bytes;
+      ring_seq = [||];
+      ring_send = [||];
+      ring_size = [||];
+      ring_rtt = [||];
+      ring_free = [||];
+      ring_free_len = 0;
+      ack_fn = ignore;
+      loss_fn = ignore;
+      poll_fn = ignore;
     }
   in
+  f.ack_fn <- (fun idx -> on_ack_event t f idx);
+  f.loss_fn <- (fun idx -> on_loss_event t f idx);
+  f.poll_fn <-
+    (fun _ ->
+      f.poll_pending <- false;
+      poll t f);
   t.flows <- f :: t.flows;
   schedule_poll t f ~time:start;
   f

@@ -1,0 +1,104 @@
+(* Work-queue pool over OCaml 5 domains.
+
+   One shared FIFO of thunks guarded by a mutex; workers block on
+   [work_available]. [map] enqueues one thunk per item and then *helps*:
+   the calling thread keeps popping thunks (its own batch's or, when
+   nested, anyone's) until its batch counter hits zero, sleeping on
+   [batch_done] only while the queue is empty. Helping is what makes
+   nested [map] calls safe — a worker waiting for its sub-batch always
+   makes global progress instead of holding a pool slot idle. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t; (* broadcast whenever any batch completes *)
+  tasks : (unit -> unit) Queue.t;
+  mutable quit : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.tasks && not t.quit do
+    Condition.wait t.work_available t.mutex
+  done;
+  if Queue.is_empty t.tasks then Mutex.unlock t.mutex (* quit *)
+  else begin
+    let task = Queue.pop t.tasks in
+    Mutex.unlock t.mutex;
+    task ();
+    worker t
+  end
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      tasks = Queue.create ();
+      quit = false;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let map t f items =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when t.jobs <= 1 -> List.map f items
+  | _ ->
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let error = ref None in
+      (* Each thunk runs its job, then decrements the batch counter
+         under the mutex; the mutex hand-off is also what publishes the
+         result writes to the thread collecting them. *)
+      let task i () =
+        (match f arr.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            Mutex.lock t.mutex;
+            if !error = None then error := Some e;
+            Mutex.unlock t.mutex);
+        Mutex.lock t.mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast t.batch_done;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (task i) t.tasks
+      done;
+      Condition.broadcast t.work_available;
+      while !remaining > 0 do
+        match Queue.take_opt t.tasks with
+        | Some tk ->
+            Mutex.unlock t.mutex;
+            tk ();
+            Mutex.lock t.mutex
+        | None -> Condition.wait t.batch_done t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (match !error with Some e -> raise e | None -> ());
+      Array.to_list
+        (Array.map (function Some v -> v | None -> assert false) results)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.quit <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,31 @@
+(** Domain-based worker pool for fanning independent jobs across cores.
+
+    Designed for the bench harness: dozens of (protocol x link x trial)
+    scenarios that are pure functions of their seed. Each job runs to
+    completion on one domain; results are returned in input order, so a
+    parallel map over deterministic jobs is bit-identical to the
+    sequential run regardless of scheduling.
+
+    {!map} is reentrant: a job may itself call {!map} on the same pool.
+    The calling thread participates in execution (it runs queued jobs
+    while waiting), so nested fan-out cannot deadlock. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [max 1 jobs] workers. With [jobs <= 1] no domains
+    are spawned and {!map} degenerates to [List.map]. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map. If any job raises, the first
+    exception (in completion order) is re-raised after every job of the
+    batch has finished. *)
+
+val shutdown : t -> unit
+(** Wait for queued jobs to drain, then join all worker domains.
+    The pool must not be used afterwards. *)

@@ -42,6 +42,85 @@ let prop_heap_sorts =
       let sorted = List.sort compare times in
       List.for_all2 (fun a b -> Float.abs (a -. b) < 1e-12) popped sorted)
 
+(* Random push/pop interleavings against a sorted reference model. Times
+   are drawn from a tiny set so equal-time ties are frequent; payloads
+   are unique ids, so the model checks FIFO order within ties exactly. *)
+let prop_heap_model =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [ (3, map (fun t -> `Push (float_of_int t)) (int_range 0 4));
+          (2, return `Pop) ])
+  in
+  let ops_arb =
+    QCheck.make
+      ~print:(fun ops ->
+        String.concat ";"
+          (List.map
+             (function `Push t -> Printf.sprintf "push %.0f" t | `Pop -> "pop")
+             ops))
+      (QCheck.Gen.list_size (QCheck.Gen.int_range 0 200) op_gen)
+  in
+  QCheck.Test.make ~name:"heap matches sorted reference model (FIFO ties)"
+    ~count:500 ops_arb (fun ops ->
+      let h = Heap.create () in
+      (* model: list of (time, insertion order, id), kept stably sorted *)
+      let model = ref [] in
+      let next_id = ref 0 and next_ord = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push time ->
+              let id = !next_id and ord = !next_ord in
+              incr next_id;
+              incr next_ord;
+              Heap.push h ~time id;
+              model :=
+                List.merge
+                  (fun (t1, o1, _) (t2, o2, _) -> compare (t1, o1) (t2, o2))
+                  !model
+                  [ (time, ord, id) ]
+          | `Pop -> (
+              match (Heap.pop h, !model) with
+              | None, [] -> ()
+              | Some (t, id), (mt, _, mid) :: rest ->
+                  if t <> mt || id <> mid then ok := false;
+                  model := rest
+              | Some _, [] | None, _ :: _ -> ok := false))
+        ops;
+      (* drain: the leftovers must come out in model order too *)
+      List.iter
+        (fun (mt, _, mid) ->
+          match Heap.pop h with
+          | Some (t, id) when t = mt && id = mid -> ()
+          | _ -> ok := false)
+        !model;
+      !ok && Heap.is_empty h)
+
+let test_heap_pop_into () =
+  let h = Heap.create () in
+  List.iter (fun t -> Heap.push h ~time:t (int_of_float t)) [ 3.0; 1.0; 2.0 ];
+  let slot = Heap.make_slot ~time:0.0 0 in
+  Alcotest.(check bool) "pop 1" true (Heap.pop_into h slot);
+  Alcotest.(check (float 1e-12)) "time 1" 1.0 slot.Heap.time;
+  Alcotest.(check int) "payload 1" 1 slot.Heap.payload;
+  Alcotest.(check bool) "pop 2" true (Heap.pop_into h slot);
+  Alcotest.(check bool) "pop 3" true (Heap.pop_into h slot);
+  Alcotest.(check (float 1e-12)) "time 3" 3.0 slot.Heap.time;
+  Alcotest.(check bool) "empty" false (Heap.pop_into h slot);
+  Alcotest.(check (float 1e-12)) "slot untouched" 3.0 slot.Heap.time
+
+let test_heap_filter () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~time:(float_of_int (v mod 3)) v)
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Heap.filter_in_place h (fun v -> v mod 2 = 0);
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  let popped = List.init 5 (fun _ -> snd (Option.get (Heap.pop h))) in
+  (* evens sorted by (time = v mod 3, insertion order) *)
+  Alcotest.(check (list int)) "order" [ 0; 6; 4; 2; 8 ] popped
+
 (* ---------- Sim ---------- *)
 
 let test_sim_runs_in_order () =
@@ -116,6 +195,62 @@ let test_sim_pending () =
   Sim.run sim;
   Alcotest.(check int) "drained" 0 (Sim.pending sim)
 
+let test_sim_at_fn () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let fn i = log := (i, Sim.now sim) :: !log in
+  Sim.at_fn sim ~time:2.0 ~fn ~arg:2;
+  Sim.at_fn sim ~time:1.0 ~fn ~arg:1;
+  Sim.at_fn sim ~time:1.0 ~fn ~arg:10;
+  Sim.run sim;
+  Alcotest.(check (list (pair int (float 1e-12))))
+    "order + args + clock"
+    [ (1, 1.0); (10, 1.0); (2, 2.0) ]
+    (List.rev !log)
+
+(* Cancelled events must not sit in the heap until their nominal fire
+   time: once more than half the queue is dead it is compacted. *)
+let test_sim_cancel_compacts () =
+  let sim = Sim.create () in
+  let handles =
+    List.init 100 (fun i ->
+        Sim.at_cancellable sim ~time:(1e6 +. float_of_int i) (fun () -> ()))
+  in
+  Alcotest.(check int) "queued" 100 (Sim.queued sim);
+  List.iter Sim.cancel handles;
+  Alcotest.(check int) "compacted away" 0 (Sim.queued sim);
+  Alcotest.(check int) "pending" 0 (Sim.pending sim);
+  (* a mixed population keeps the live ones *)
+  let fired = ref 0 in
+  let keep = List.init 10 (fun i -> float_of_int (i + 1)) in
+  List.iter (fun t -> Sim.at sim ~time:t (fun () -> incr fired)) keep;
+  let dead =
+    List.init 90 (fun i ->
+        Sim.at_cancellable sim ~time:(2e6 +. float_of_int i) (fun () -> ()))
+  in
+  List.iter Sim.cancel dead;
+  Alcotest.(check bool) "dead mostly gone" true (Sim.queued sim <= 20);
+  Alcotest.(check int) "live retained" 10 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check int) "all live fired" 10 !fired
+
+let test_sim_pool_reuse () =
+  (* A long schedule/fire chain through the pooled kernel must recycle
+     cells rather than grow the pool: queued never exceeds the number
+     of simultaneously outstanding events. *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Sim.after sim ~delay:0.001 (fun () ->
+          incr count;
+          chain (n - 1))
+  in
+  chain 10_000;
+  Sim.run sim;
+  Alcotest.(check int) "chained" 10_000 !count;
+  Alcotest.(check int) "drained" 0 (Sim.pending sim)
+
 let suite =
   [
     ("heap orders", `Quick, test_heap_orders);
@@ -130,5 +265,13 @@ let suite =
     ("sim cancel", `Quick, test_sim_cancel);
     ("sim double cancel", `Quick, test_sim_cancel_twice_ok);
     ("sim pending", `Quick, test_sim_pending);
+    ("heap pop_into", `Quick, test_heap_pop_into);
+    ("heap filter_in_place", `Quick, test_heap_filter);
+    ("sim at_fn", `Quick, test_sim_at_fn);
+    ("sim cancel compacts", `Quick, test_sim_cancel_compacts);
+    ("sim pool reuse", `Quick, test_sim_pool_reuse);
   ]
-  @ [ QCheck_alcotest.to_alcotest prop_heap_sorts ]
+  @ [
+      QCheck_alcotest.to_alcotest prop_heap_sorts;
+      QCheck_alcotest.to_alcotest prop_heap_model;
+    ]

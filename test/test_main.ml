@@ -16,6 +16,7 @@ let () =
       ("more", Test_more.suite);
       ("controller-unit", Test_controller_unit.suite);
       ("timing", Test_timing.suite);
+      ("parallel", Test_parallel.suite);
       ("video", Test_video.suite);
       ("web", Test_web.suite);
     ]

@@ -163,6 +163,25 @@ let test_flow_stats_series () =
   check_float "bin0" 1.0 (snd series.(0));
   check_float "bin1" 2.0 (snd series.(1))
 
+let test_flow_stats_series_edge () =
+  (* Acks at or past [until], or whose bin index rounds out of range,
+     are dropped — they must not be clamped into the last bin. *)
+  let st = Flow_stats.create () in
+  Flow_stats.record_ack st ~now:0.5 ~size:125_000 ~rtt:0.02;
+  Flow_stats.record_ack st ~now:2.0 ~size:250_000 ~rtt:0.02;
+  Flow_stats.record_ack st ~now:2.5 ~size:250_000 ~rtt:0.02;
+  let series = Flow_stats.throughput_series st ~bin:1.0 ~until:2.0 in
+  Alcotest.(check int) "bins" 2 (Array.length series);
+  check_float "bin0 keeps in-window ack" 1.0 (snd series.(0));
+  check_float "final bin not inflated" 0.0 (snd series.(1));
+  (* fractional last bin: the 2.2 ack lands in bin 2 of [0,0.75)x3, not
+     clamped elsewhere; binned bytes never exceed what was acked *)
+  let st2 = Flow_stats.create () in
+  Flow_stats.record_ack st2 ~now:2.2 ~size:75_000 ~rtt:0.02;
+  let series2 = Flow_stats.throughput_series st2 ~bin:0.75 ~until:2.25 in
+  Alcotest.(check int) "ceil bins" 3 (Array.length series2);
+  check_float "fractional last bin" 0.8 (snd series2.(2))
+
 (* ---------- Runner ---------- *)
 
 let standard_cfg ?loss_rate ?noise () =
@@ -310,6 +329,7 @@ let suite =
     ("flow stats percentile", `Quick, test_flow_stats_rtt_percentile);
     ("flow stats loss", `Quick, test_flow_stats_loss_fraction);
     ("flow stats series", `Quick, test_flow_stats_series);
+    ("flow stats series edge", `Quick, test_flow_stats_series_edge);
     ("runner conservation", `Quick, test_runner_packet_conservation);
     ("runner finite flow", `Quick, test_runner_finite_flow_completes);
     ("runner finite flow with loss", `Quick,

@@ -1,0 +1,107 @@
+(* Tests for the Domain worker pool and for the determinism contract of
+   the bench harness's parallel fan-out: a fixed-seed run produces
+   bit-identical flow statistics whether executed sequentially or on a
+   pool. *)
+
+module Pool = Proteus_parallel.Pool
+module Net = Proteus_net
+
+let with_pool ~jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_map_matches_sequential () =
+  with_pool ~jobs:3 (fun p ->
+      let xs = List.init 50 (fun i -> i) in
+      let f x = (x * x) + 1 in
+      Alcotest.(check (list int)) "order + values" (List.map f xs)
+        (Pool.map p f xs))
+
+let test_map_empty_and_singleton () =
+  with_pool ~jobs:2 (fun p ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map p (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 7 ]
+        (Pool.map p (fun x -> x + 3) [ 4 ]))
+
+let test_map_jobs_one_inline () =
+  with_pool ~jobs:1 (fun p ->
+      let side = ref [] in
+      let out = Pool.map p (fun x -> side := x :: !side; x) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "values" [ 1; 2; 3 ] out;
+      (* jobs=1 degenerates to List.map: strict left-to-right order *)
+      Alcotest.(check (list int)) "sequential order" [ 3; 2; 1 ] !side)
+
+let test_nested_map () =
+  with_pool ~jobs:2 (fun p ->
+      let out =
+        Pool.map p
+          (fun i -> Pool.map p (fun j -> (10 * i) + j) [ 1; 2; 3 ])
+          [ 1; 2; 3; 4 ]
+      in
+      let expected =
+        List.map (fun i -> List.map (fun j -> (10 * i) + j) [ 1; 2; 3 ])
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list (list int))) "nested" expected out)
+
+exception Boom
+
+let test_exception_propagates () =
+  with_pool ~jobs:2 (fun p ->
+      match Pool.map p (fun x -> if x = 3 then raise Boom else x) [ 1; 2; 3; 4 ]
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom -> ())
+
+(* ---------- determinism regression ---------- *)
+
+(* One fixed-seed two-flow scenario; returns every summary statistic we
+   report in the benches. Must be a pure function of the seed. *)
+let two_flow_summary seed =
+  let cfg =
+    Net.Link.config ~bandwidth_mbps:30.0 ~rtt_ms:40.0 ~buffer_bytes:150_000
+      ~loss_rate:0.001 ()
+  in
+  let r = Net.Runner.create ~seed cfg in
+  let a =
+    Net.Runner.add_flow r ~label:"primary"
+      ~factory:(Proteus_cc.Cubic.factory ())
+  in
+  let b =
+    Net.Runner.add_flow r ~start:3.0 ~label:"scavenger"
+      ~factory:(Proteus.Presets.proteus_s ())
+  in
+  Net.Runner.run r ~until:20.0;
+  let summarize f =
+    let st = Net.Runner.stats f in
+    [
+      Net.Flow_stats.throughput_mbps st ~t0:5.0 ~t1:20.0;
+      float_of_int (Net.Flow_stats.packets_sent st);
+      float_of_int (Net.Flow_stats.packets_acked st);
+      float_of_int (Net.Flow_stats.packets_lost st);
+      Net.Flow_stats.bytes_acked st;
+      Option.value ~default:(-1.0)
+        (Net.Flow_stats.rtt_percentile st ~t0:5.0 ~t1:20.0 ~p:95.0);
+    ]
+  in
+  summarize a @ summarize b
+
+let test_parallel_determinism () =
+  let seeds = [ 1; 2; 17; 42 ] in
+  let sequential = List.map two_flow_summary seeds in
+  let parallel =
+    with_pool ~jobs:2 (fun p -> Pool.map p two_flow_summary seeds)
+  in
+  (* eps 0.0: results must be bit-identical, not merely close *)
+  Alcotest.(check (list (list (float 0.0))))
+    "sequential = parallel" sequential parallel
+
+let suite =
+  [
+    ("pool map = List.map", `Quick, test_map_matches_sequential);
+    ("pool empty/singleton", `Quick, test_map_empty_and_singleton);
+    ("pool jobs=1 inline", `Quick, test_map_jobs_one_inline);
+    ("pool nested map", `Quick, test_nested_map);
+    ("pool exception", `Quick, test_exception_propagates);
+    ("fixed-seed determinism under par_map", `Quick, test_parallel_determinism);
+  ]
