@@ -29,6 +29,8 @@ let experiments : (string * (unit -> unit)) list =
     ("theory", Exp_theory.run);
     ("ablation", Exp_ablation.run);
     ("micro", Exp_micro.run);
+    ("faults", Exp_faults.run);
+    ("faults-smoke", Exp_faults.smoke);
   ]
 
 let appendix_ids =
@@ -82,7 +84,12 @@ let () =
     List.concat_map
       (fun id ->
         match id with
-        | "all" -> List.map fst experiments
+        (* "all" skips the smoke entry: it is a subset of "faults" and
+           exists for the @faults-smoke alias. *)
+        | "all" ->
+            List.filter_map
+              (fun (id, _) -> if id = "faults-smoke" then None else Some id)
+              experiments
         | "appendix" -> appendix_ids
         | _ -> [ id ])
       ids

@@ -1,0 +1,60 @@
+(** Runtime invariant auditor for the network substrate.
+
+    An auditor is fed every packet-level event by the {!Runner} (see
+    [Runner.attach_audit]) and cross-checks the simulator's own
+    conservation laws while an experiment runs:
+
+    - {b conservation} — every transmitted packet is eventually
+      delivered (ACKed) or dropped {e exactly once}: a second delivery,
+      a delivery of a never-sent sequence number, or packets left in
+      flight after {!assert_quiesced} all raise;
+    - {b non-negative backlog} — the link's queued byte count stays
+      finite and ≥ 0 at every observed event;
+    - {b monotone ACK delivery} — per flow, ACK/loss events arrive in
+      nondecreasing simulated time (and the global clock never runs
+      backwards);
+    - {b in-flight accounting} — per flow,
+      [sent = acked + lost + outstanding] with all terms ≥ 0, and the
+      outstanding {e set} always matches the counters.
+
+    On violation the auditor raises {!Violation} whose message embeds a
+    bounded ring-buffer trace of the last [trace] events (oldest
+    first), enough to replay the failure deterministically from the
+    scenario seed. The auditor allocates only when registering flows
+    and when a packet enters/leaves the outstanding set; the trace ring
+    is preallocated. *)
+
+exception Violation of string
+
+type t
+
+val create : ?trace:int -> unit -> t
+(** Fresh auditor keeping the last [trace] (default 64) events for the
+    violation report. *)
+
+val register_flow : t -> label:string -> int
+(** Register a flow; the returned id is passed to the event hooks. *)
+
+val on_sent : t -> flow:int -> seq:int -> size:int -> now:float -> unit
+val on_ack : t -> flow:int -> seq:int -> size:int -> now:float -> unit
+
+val on_dup_ack : t -> flow:int -> seq:int -> now:float -> unit
+(** A duplicate ACK: must refer to a packet already delivered once. *)
+
+val on_loss : t -> flow:int -> seq:int -> size:int -> now:float -> unit
+
+val observe_backlog : t -> backlog:float -> now:float -> unit
+(** Check a sampled link backlog (finite, non-negative). *)
+
+val outstanding : t -> int
+(** Packets currently in flight across all registered flows. *)
+
+val events_checked : t -> int
+(** Total events fed through the auditor (diagnostic). *)
+
+val assert_quiesced : t -> unit
+(** Call once the simulation has drained (no pending events): raises
+    {!Violation} if any packet was neither delivered nor dropped. *)
+
+val recent_events : t -> string list
+(** Formatted trace of the retained events, oldest first. *)

@@ -4,6 +4,7 @@ type t = {
   mutable sent : int;
   mutable acked : int;
   mutable lost : int;
+  mutable dup_acked : int;
   mutable bytes_acked : float;
   ack_times : Fvec.t;
   ack_bytes : Fvec.t;
@@ -15,6 +16,7 @@ let create () =
     sent = 0;
     acked = 0;
     lost = 0;
+    dup_acked = 0;
     bytes_acked = 0.0;
     ack_times = Fvec.create ~capacity:1024 ();
     ack_bytes = Fvec.create ~capacity:1024 ();
@@ -31,9 +33,11 @@ let record_ack t ~now ~size ~rtt =
   Fvec.push t.rtts rtt
 
 let record_loss t ~now:_ ~size:_ = t.lost <- t.lost + 1
+let record_dup_ack t ~now:_ = t.dup_acked <- t.dup_acked + 1
 let packets_sent t = t.sent
 let packets_acked t = t.acked
 let packets_lost t = t.lost
+let packets_dup_acked t = t.dup_acked
 let bytes_acked t = t.bytes_acked
 
 let loss_fraction t =

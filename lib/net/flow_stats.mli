@@ -13,11 +13,20 @@ val record_sent : t -> now:float -> size:int -> unit
 val record_ack : t -> now:float -> size:int -> rtt:float -> unit
 val record_loss : t -> now:float -> size:int -> unit
 
+val record_dup_ack : t -> now:float -> unit
+(** A duplicate ACK delivery (link duplication knob); duplicates do not
+    count toward goodput or completion. *)
+
 (** {2 Queries} *)
 
 val packets_sent : t -> int
 val packets_acked : t -> int
 val packets_lost : t -> int
+
+val packets_dup_acked : t -> int
+(** Duplicate ACK deliveries observed (0 unless the link's duplication
+    knob is on). *)
+
 val bytes_acked : t -> float
 val loss_fraction : t -> float
 (** Lost / sent over the whole run (0 when nothing sent). *)

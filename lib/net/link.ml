@@ -1,65 +1,306 @@
 module Rng = Proteus_stats.Rng
 
+type loss_model =
+  | Iid of float
+  | Gilbert_elliott of {
+      p_good_bad : float;
+      p_bad_good : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+
+type impairment =
+  | Set_bandwidth of float
+  | Set_rtt of float
+  | Set_buffer of int
+  | Set_loss of loss_model
+  | Down of { duration : float; flush : bool }
+
 type config = {
   bandwidth_mbps : float;
   rtt_ms : float;
   buffer_bytes : int;
   loss_rate : float;
+  loss : loss_model option;
   noise : Noise.spec;
+  schedule : (float * impairment) list;
+  reorder_prob : float;
+  reorder_extra_ms : float;
+  dup_prob : float;
 }
 
-let config ?(loss_rate = 0.0) ?(noise = Noise.None_) ~bandwidth_mbps ~rtt_ms
-    ~buffer_bytes () =
-  { bandwidth_mbps; rtt_ms; buffer_bytes; loss_rate; noise }
+(* ---------- validation (all construction paths funnel through here) ---------- *)
+
+let check_pos_finite what v =
+  if not (Float.is_finite v && v > 0.0) then
+    invalid_arg (Printf.sprintf "Link.config: %s must be positive and finite, got %g" what v)
+
+let check_nonneg_finite what v =
+  if not (Float.is_finite v && v >= 0.0) then
+    invalid_arg (Printf.sprintf "Link.config: %s must be nonnegative and finite, got %g" what v)
+
+let check_prob what v =
+  (* Written so NaN fails too. *)
+  if not (v >= 0.0 && v <= 1.0) then
+    invalid_arg (Printf.sprintf "Link.config: %s must be in [0,1], got %g" what v)
+
+let check_loss_model = function
+  | Iid p -> check_prob "loss rate" p
+  | Gilbert_elliott { p_good_bad; p_bad_good; loss_good; loss_bad } ->
+      check_prob "Gilbert-Elliott p_good_bad" p_good_bad;
+      check_prob "Gilbert-Elliott p_bad_good" p_bad_good;
+      check_prob "Gilbert-Elliott loss_good" loss_good;
+      check_prob "Gilbert-Elliott loss_bad" loss_bad
+
+let check_impairment = function
+  | Set_bandwidth b -> check_pos_finite "scheduled bandwidth_mbps" b
+  | Set_rtt r -> check_pos_finite "scheduled rtt_ms" r
+  | Set_buffer b ->
+      if b <= 0 then
+        invalid_arg
+          (Printf.sprintf "Link.config: scheduled buffer_bytes must be positive, got %d" b)
+  | Set_loss m -> check_loss_model m
+  | Down { duration; flush = _ } -> check_pos_finite "outage duration" duration
+
+let validate cfg =
+  check_pos_finite "bandwidth_mbps" cfg.bandwidth_mbps;
+  check_pos_finite "rtt_ms" cfg.rtt_ms;
+  if cfg.buffer_bytes <= 0 then
+    invalid_arg
+      (Printf.sprintf "Link.config: buffer_bytes must be positive, got %d" cfg.buffer_bytes);
+  check_prob "loss_rate" cfg.loss_rate;
+  Option.iter check_loss_model cfg.loss;
+  check_prob "reorder_prob" cfg.reorder_prob;
+  check_nonneg_finite "reorder_extra_ms" cfg.reorder_extra_ms;
+  check_prob "dup_prob" cfg.dup_prob;
+  List.iter
+    (fun (time, imp) ->
+      check_nonneg_finite "schedule entry time" time;
+      check_impairment imp)
+    cfg.schedule;
+  (* Outage windows must not overlap: the virtual-queue lookahead
+     assumes each packet crosses windows left to right. *)
+  let downs =
+    List.filter_map
+      (function t, Down { duration; _ } -> Some (t, t +. duration) | _ -> None)
+      (List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) cfg.schedule)
+  in
+  let rec no_overlap = function
+    | (_, e1) :: ((s2, _) :: _ as rest) ->
+        if e1 > s2 then
+          invalid_arg
+            (Printf.sprintf "Link.config: overlapping outage windows (one ends %g, next starts %g)" e1 s2);
+        no_overlap rest
+    | _ -> ()
+  in
+  no_overlap downs
+
+let config ?(loss_rate = 0.0) ?loss ?(noise = Noise.None_) ?(schedule = [])
+    ?(reorder_prob = 0.0) ?(reorder_extra_ms = 5.0) ?(dup_prob = 0.0)
+    ~bandwidth_mbps ~rtt_ms ~buffer_bytes () =
+  let cfg =
+    { bandwidth_mbps; rtt_ms; buffer_bytes; loss_rate; loss; noise; schedule;
+      reorder_prob; reorder_extra_ms; dup_prob }
+  in
+  validate cfg;
+  cfg
+
+let average_loss = function
+  | Iid p -> p
+  | Gilbert_elliott { p_good_bad; p_bad_good; loss_good; loss_bad } ->
+      let denom = p_good_bad +. p_bad_good in
+      if denom <= 0.0 then loss_good
+      else
+        let pi_bad = p_good_bad /. denom in
+        ((1.0 -. pi_bad) *. loss_good) +. (pi_bad *. loss_bad)
 
 type outcome =
-  | Delivered of { ack_time : float; rtt : float }
+  | Delivered of { ack_time : float; rtt : float; dup_ack_time : float }
   | Dropped of { notify_time : float }
 
 type t = {
-  capacity : float;  (* bytes per second *)
-  prop_one_way : float;
-  buffer_bytes : float;
-  loss_rate : float;
+  mutable capacity : float;  (* bytes per second *)
+  mutable prop_one_way : float;
+  mutable buffer_bytes : float;
+  mutable loss : loss_model;
+  mutable ge_bad : bool;  (* Gilbert–Elliott chain state *)
   rng : Rng.t;
   noise : Noise.t;
   mutable free_at : float;
+  (* Impairment schedule, sorted by time; entries at index < [sched_idx]
+     have been applied. *)
+  sched_time : float array;
+  sched_imp : impairment array;
+  mutable sched_idx : int;
+  (* Outage windows (subset of the schedule), sorted; [out_idx] is the
+     first window whose end lies in the future. *)
+  out_start : float array;
+  out_end : float array;
+  out_flush : bool array;
+  mutable out_idx : int;
+  reorder_prob : float;
+  reorder_extra : float;  (* seconds *)
+  dup_prob : float;
+  (* ACK path is FIFO: nominal ACK times are clamped to be
+     nondecreasing so mid-run RTT reductions cannot violate the Noise
+     precondition. *)
+  mutable last_nominal : float;
 }
 
 let create cfg ~rng =
+  validate cfg;
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) cfg.schedule
+  in
+  let downs =
+    List.filter_map
+      (function t, Down { duration; flush } -> Some (t, t +. duration, flush) | _ -> None)
+      sorted
+  in
   {
     capacity = Units.mbps_to_bytes_per_sec cfg.bandwidth_mbps;
     prop_one_way = Units.ms cfg.rtt_ms /. 2.0;
     buffer_bytes = float_of_int cfg.buffer_bytes;
-    loss_rate = cfg.loss_rate;
+    loss = (match cfg.loss with Some m -> m | None -> Iid cfg.loss_rate);
+    ge_bad = false;
     rng = Rng.split rng;
     noise = Noise.create cfg.noise ~rng:(Rng.split rng);
     free_at = 0.0;
+    sched_time = Array.of_list (List.map fst sorted);
+    sched_imp = Array.of_list (List.map snd sorted);
+    sched_idx = 0;
+    out_start = Array.of_list (List.map (fun (s, _, _) -> s) downs);
+    out_end = Array.of_list (List.map (fun (_, e, _) -> e) downs);
+    out_flush = Array.of_list (List.map (fun (_, _, f) -> f) downs);
+    out_idx = 0;
+    reorder_prob = cfg.reorder_prob;
+    reorder_extra = Units.ms cfg.reorder_extra_ms;
+    dup_prob = cfg.dup_prob;
+    last_nominal = neg_infinity;
   }
+
+(* Apply schedule entries whose time has passed. Rate changes convert
+   the unserved backlog at the change instant (exact because no packet
+   was admitted in between); outage starts park [free_at] at the window
+   end — the server is down for the window, and a flush additionally
+   discards the queue (packets that would have been flushed were
+   already reported Dropped at admission by the lookahead below). *)
+let sync t ~now =
+  while
+    t.sched_idx < Array.length t.sched_time && t.sched_time.(t.sched_idx) <= now
+  do
+    let tc = t.sched_time.(t.sched_idx) in
+    (match t.sched_imp.(t.sched_idx) with
+    | Set_bandwidth mbps ->
+        let unserved = Float.max 0.0 (t.free_at -. tc) *. t.capacity in
+        t.capacity <- Units.mbps_to_bytes_per_sec mbps;
+        t.free_at <- tc +. (unserved /. t.capacity)
+    | Set_rtt ms -> t.prop_one_way <- Units.ms ms /. 2.0
+    | Set_buffer b -> t.buffer_bytes <- float_of_int b
+    | Set_loss m ->
+        t.loss <- m;
+        t.ge_bad <- false
+    | Down { duration; flush } ->
+        let o_end = tc +. duration in
+        t.free_at <- (if flush then o_end else Float.max t.free_at o_end));
+    t.sched_idx <- t.sched_idx + 1
+  done;
+  while
+    t.out_idx < Array.length t.out_end && t.out_end.(t.out_idx) <= now
+  do
+    t.out_idx <- t.out_idx + 1
+  done
 
 let capacity_bytes_per_sec t = t.capacity
 let base_rtt t = 2.0 *. t.prop_one_way
-let backlog_bytes t ~now = Float.max 0.0 (t.free_at -. now) *. t.capacity
-let queue_delay t ~now = Float.max 0.0 (t.free_at -. now)
+
+let is_down t ~now =
+  sync t ~now;
+  t.out_idx < Array.length t.out_start
+  && t.out_start.(t.out_idx) <= now
+  && now < t.out_end.(t.out_idx)
+
+let backlog_bytes t ~now =
+  sync t ~now;
+  Float.max 0.0 (t.free_at -. now) *. t.capacity
+
+let queue_delay t ~now =
+  sync t ~now;
+  Float.max 0.0 (t.free_at -. now)
 
 (* A sender learns of a loss when a later packet's ACK reveals the
-   sequence gap — approximately one current RTT after the drop. *)
+   sequence gap — approximately one current RTT after the drop. During
+   an outage [free_at] already sits at the window end, so the
+   notification lands after the link is back up. *)
 let loss_notify_time t ~now =
-  now +. queue_delay t ~now +. (2.0 *. t.prop_one_way)
+  now +. Float.max 0.0 (t.free_at -. now) +. (2.0 *. t.prop_one_way)
+
+let draw_loss t =
+  match t.loss with
+  | Iid p -> Rng.bernoulli t.rng ~p
+  | Gilbert_elliott { p_good_bad; p_bad_good; loss_good; loss_bad } ->
+      t.ge_bad <-
+        (if t.ge_bad then not (Rng.bernoulli t.rng ~p:p_bad_good)
+         else Rng.bernoulli t.rng ~p:p_good_bad);
+      Rng.bernoulli t.rng ~p:(if t.ge_bad then loss_bad else loss_good)
 
 let transmit t ~now ~size =
-  if Rng.bernoulli t.rng ~p:t.loss_rate then
+  sync t ~now;
+  if
+    t.out_idx < Array.length t.out_start
+    && t.out_start.(t.out_idx) <= now
+    && now < t.out_end.(t.out_idx)
+  then (* Link is down: admission refused. *)
     Dropped { notify_time = loss_notify_time t ~now }
+  else if draw_loss t then Dropped { notify_time = loss_notify_time t ~now }
   else begin
     let sizef = float_of_int size in
-    if backlog_bytes t ~now +. sizef > t.buffer_bytes then
-      Dropped { notify_time = loss_notify_time t ~now }
+    if (Float.max 0.0 (t.free_at -. now) *. t.capacity) +. sizef > t.buffer_bytes
+    then Dropped { notify_time = loss_notify_time t ~now }
     else begin
       let start = Float.max now t.free_at in
-      let departure = start +. (sizef /. t.capacity) in
-      t.free_at <- departure;
-      let nominal_ack = departure +. (2.0 *. t.prop_one_way) in
-      let ack_time = Noise.ack_delivery_time t.noise ~now ~nominal:nominal_ack in
-      Delivered { ack_time; rtt = ack_time -. now }
+      let departure = ref (start +. (sizef /. t.capacity)) in
+      (* Lookahead over future outage windows the departure crosses: a
+         drain window pauses the server (departure shifts past it); a
+         flush window discards the queue, this packet included. *)
+      let flushed = ref false in
+      let i = ref t.out_idx in
+      while
+        (not !flushed)
+        && !i < Array.length t.out_start
+        && !departure > t.out_start.(!i)
+      do
+        if t.out_start.(!i) >= now then begin
+          if t.out_flush.(!i) then flushed := true
+          else departure := !departure +. (t.out_end.(!i) -. t.out_start.(!i))
+        end;
+        incr i
+      done;
+      if !flushed then begin
+        (* The packet occupies the queue until the flush discards it. *)
+        t.free_at <- !departure;
+        Dropped { notify_time = loss_notify_time t ~now }
+      end
+      else begin
+        t.free_at <- !departure;
+        let nominal_ack =
+          Float.max (!departure +. (2.0 *. t.prop_one_way)) t.last_nominal
+        in
+        t.last_nominal <- nominal_ack;
+        let ack_time =
+          Noise.ack_delivery_time t.noise ~now ~nominal:nominal_ack
+        in
+        let ack_time =
+          if Rng.bernoulli t.rng ~p:t.reorder_prob then
+            ack_time +. Rng.uniform t.rng ~lo:0.0 ~hi:t.reorder_extra
+          else ack_time
+        in
+        let dup_ack_time =
+          if Rng.bernoulli t.rng ~p:t.dup_prob then
+            ack_time +. (sizef /. t.capacity)
+          else Float.nan
+        in
+        Delivered { ack_time; rtt = ack_time -. now; dup_ack_time }
+      end
     end
   end

@@ -32,9 +32,14 @@ let default_wifi =
       gate_max_ms = 25.0;
     }
 
-type t = { spec : spec; rng : Rng.t; mutable gate_until : float }
+type t = {
+  spec : spec;
+  rng : Rng.t;
+  mutable gate_until : float;
+  mutable last_nominal : float;
+}
 
-let create spec ~rng = { spec; rng; gate_until = 0.0 }
+let create spec ~rng = { spec; rng; gate_until = 0.0; last_nominal = neg_infinity }
 
 (* Gaussian jitter truncated to be nonnegative: latency noise can only
    delay delivery in our model. *)
@@ -43,6 +48,17 @@ let jitter rng ~sigma =
   else Float.abs (Rng.gaussian rng ~mu:0.0 ~sigma)
 
 let ack_delivery_time t ~now:_ ~nominal =
+  (* The gate state ([gate_until]) assumes ACKs are presented in send
+     order; a decreasing [nominal] would silently produce out-of-order
+     delivery times, so reject it loudly instead (small slack for
+     floating-point noise in callers' arithmetic). *)
+  if nominal < t.last_nominal -. 1e-9 then
+    invalid_arg
+      (Printf.sprintf
+         "Noise.ack_delivery_time: nominal %.9f < previous %.9f (calls must \
+          be nondecreasing)"
+         nominal t.last_nominal);
+  t.last_nominal <- Float.max t.last_nominal nominal;
   match t.spec with
   | None_ -> nominal
   | Gaussian { sigma_ms } ->

@@ -47,4 +47,8 @@ val ack_delivery_time : t -> now:float -> nominal:float -> float
 (** [ack_delivery_time t ~now ~nominal] maps the noise-free ACK arrival
     time [nominal] to the actual delivery time ([>= nominal]). Calls
     must be made in nondecreasing [nominal] order (the simulator's ACK
-    stream). *)
+    stream): the gate state assumes it, so a decreasing [nominal]
+    raises [Invalid_argument] instead of silently producing
+    out-of-order ACK times. {!Link} maintains the precondition even
+    under mid-run RTT reductions by clamping its nominal ACK times to
+    be nondecreasing (FIFO ACK path). *)

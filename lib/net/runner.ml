@@ -14,6 +14,7 @@ let burst_cap = 64
 
 type flow = {
   label : string;
+  id : int; (* dense index; doubles as the auditor's flow id *)
   sender : Sender.packed;
   stats : Flow_stats.t;
   mutable next_seq : int;
@@ -39,6 +40,7 @@ type flow = {
   (* Reusable event handlers, created once per flow in [add_flow]. *)
   mutable ack_fn : int -> unit;
   mutable loss_fn : int -> unit;
+  mutable dup_fn : int -> unit;
   mutable poll_fn : int -> unit;
 }
 
@@ -47,13 +49,29 @@ type t = {
   link : Link.t;
   root_rng : Rng.t;
   mutable flows : flow list;
+  mutable next_id : int;
+  mutable audit : Audit.t option;
 }
 
 let create ?(seed = 42) link_cfg =
   let root_rng = Rng.create ~seed in
   let sim = Sim.create () in
   let link = Link.create link_cfg ~rng:(Rng.split root_rng) in
-  { sim; link; root_rng; flows = [] }
+  { sim; link; root_rng; flows = []; next_id = 0; audit = None }
+
+let attach_audit ?trace t =
+  let a = Audit.create ?trace () in
+  (* [t.flows] is newest-first; register in id order so the auditor's
+     ids coincide with [flow.id]. *)
+  List.iter
+    (fun f ->
+      let id = Audit.register_flow a ~label:f.label in
+      assert (id = f.id))
+    (List.rev t.flows);
+  t.audit <- Some a;
+  a
+
+let audit t = t.audit
 
 let sim t = t.sim
 let link t = t.link
@@ -134,16 +152,34 @@ and transmit t f budget =
   if f.remaining >= 0 then f.remaining <- f.remaining - size;
   Flow_stats.record_sent f.stats ~now ~size;
   Sender.on_sent f.sender ~now ~seq ~size;
+  (match t.audit with
+  | Some a -> Audit.on_sent a ~flow:f.id ~seq ~size ~now
+  | None -> ());
   let idx = acquire_slot f in
   f.ring_seq.(idx) <- seq;
   f.ring_send.(idx) <- now;
   f.ring_size.(idx) <- size;
   (match Link.transmit t.link ~now ~size with
-  | Link.Delivered { ack_time; rtt } ->
+  | Link.Delivered { ack_time; rtt; dup_ack_time } ->
       f.ring_rtt.(idx) <- rtt;
-      Sim.at_fn t.sim ~time:ack_time ~fn:f.ack_fn ~arg:idx
+      Sim.at_fn t.sim ~time:ack_time ~fn:f.ack_fn ~arg:idx;
+      if not (Float.is_nan dup_ack_time) then begin
+        (* Duplicate ACK: a second slot carries the same packet identity
+           so the dup fires through its own reusable handler after the
+           primary ACK. *)
+        let didx = acquire_slot f in
+        f.ring_seq.(didx) <- seq;
+        f.ring_send.(didx) <- now;
+        f.ring_size.(didx) <- size;
+        f.ring_rtt.(didx) <- dup_ack_time -. now;
+        Sim.at_fn t.sim ~time:dup_ack_time ~fn:f.dup_fn ~arg:didx
+      end
   | Link.Dropped { notify_time } ->
       Sim.at_fn t.sim ~time:notify_time ~fn:f.loss_fn ~arg:idx);
+  (match t.audit with
+  | Some a ->
+      Audit.observe_backlog a ~backlog:(Link.backlog_bytes t.link ~now) ~now
+  | None -> ());
   send_burst t f (budget - 1)
 
 (* Re-arm the send loop after any ACK/loss: window senders unblock, and
@@ -155,6 +191,11 @@ and kick t f =
 
 and handle_ack t f ~seq ~send_time ~size ~rtt =
   let now = Sim.now t.sim in
+  (match t.audit with
+  | Some a ->
+      Audit.on_ack a ~flow:f.id ~seq ~size ~now;
+      Audit.observe_backlog a ~backlog:(Link.backlog_bytes t.link ~now) ~now
+  | None -> ());
   Flow_stats.record_ack f.stats ~now ~size ~rtt;
   Sender.on_ack f.sender ~now ~seq ~send_time ~size ~rtt;
   f.acked_bytes <- f.acked_bytes + size;
@@ -167,8 +208,25 @@ and handle_ack t f ~seq ~send_time ~size ~rtt =
    end);
   kick t f
 
+and handle_dup_ack t f ~seq ~send_time ~size ~rtt =
+  let now = Sim.now t.sim in
+  (match t.audit with
+  | Some a -> Audit.on_dup_ack a ~flow:f.id ~seq ~now
+  | None -> ());
+  (* The duplicate reaches the congestion controller (dup-ACK stress)
+     and the dup counter, but is invisible to the application: no
+     goodput, no completion progress. *)
+  Flow_stats.record_dup_ack f.stats ~now;
+  Sender.on_ack f.sender ~now ~seq ~send_time ~size ~rtt;
+  kick t f
+
 and handle_loss t f ~seq ~send_time ~size =
   let now = Sim.now t.sim in
+  (match t.audit with
+  | Some a ->
+      Audit.on_loss a ~flow:f.id ~seq ~size ~now;
+      Audit.observe_backlog a ~backlog:(Link.backlog_bytes t.link ~now) ~now
+  | None -> ());
   Flow_stats.record_loss f.stats ~now ~size;
   Sender.on_loss f.sender ~now ~seq ~send_time ~size;
   (* Reliable delivery for finite flows: the lost bytes re-enter the
@@ -191,13 +249,24 @@ let on_loss_event t f idx =
   release_slot f idx;
   handle_loss t f ~seq ~send_time ~size
 
+let on_dup_ack_event t f idx =
+  let seq = f.ring_seq.(idx)
+  and send_time = f.ring_send.(idx)
+  and size = f.ring_size.(idx)
+  and rtt = f.ring_rtt.(idx) in
+  release_slot f idx;
+  handle_dup_ack t f ~seq ~send_time ~size ~rtt
+
 let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
     ~label ~factory =
   let env = { Sender.rng = Rng.split t.root_rng; mtu = Units.mtu } in
   let bytes = match size_bytes with Some b -> b | None -> -1 in
+  let id = t.next_id in
+  t.next_id <- id + 1;
   let f =
     {
       label;
+      id;
       sender = factory env;
       stats = Flow_stats.create ();
       next_seq = 0;
@@ -221,15 +290,22 @@ let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
       ring_free_len = 0;
       ack_fn = ignore;
       loss_fn = ignore;
+      dup_fn = ignore;
       poll_fn = ignore;
     }
   in
   f.ack_fn <- (fun idx -> on_ack_event t f idx);
   f.loss_fn <- (fun idx -> on_loss_event t f idx);
+  f.dup_fn <- (fun idx -> on_dup_ack_event t f idx);
   f.poll_fn <-
     (fun _ ->
       f.poll_pending <- false;
       poll t f);
+  (match t.audit with
+  | Some a ->
+      let aid = Audit.register_flow a ~label in
+      assert (aid = f.id)
+  | None -> ());
   t.flows <- f :: t.flows;
   schedule_poll t f ~time:start;
   f

@@ -49,6 +49,18 @@ val pause : t -> flow -> unit
 
 val resume : t -> flow -> unit
 
+val attach_audit : ?trace:int -> t -> Audit.t
+(** Install a runtime invariant {!Audit} fed every subsequent
+    packet-level event (sends, ACKs, duplicate ACKs, losses, backlog
+    samples). Must be attached before any packet is in flight — the
+    auditor treats deliveries of packets it never saw sent as
+    conservation violations. Attaching again replaces the previous
+    auditor. [trace] bounds the ring-buffer trace embedded in
+    {!Audit.Violation} reports. *)
+
+val audit : t -> Audit.t option
+(** The currently attached auditor, if any. *)
+
 val run : t -> until:float -> unit
 (** Advance the simulation to the given time. May be called repeatedly
     with increasing horizons. *)

@@ -8,6 +8,14 @@ let split t =
      under unrelated draws on the parent. *)
   create ~seed:(t.seed * 1_000_003 + (t.splits * 7919) + 17)
 
+(* Keyed child streams: unlike [split], the derivation ignores the
+   parent's split counter, so a task keyed [k] gets the same stream no
+   matter how many siblings were derived before it — the property the
+   fault-sweep harness relies on to stay bit-identical under `--jobs N`
+   reordering of task setup. The multiplier differs from [split]'s so
+   the two families cannot collide on small keys. *)
+let split_at t ~key = create ~seed:(t.seed * 999_983 + (key * 6_700_417) + 29)
+
 let float t bound = Random.State.float t.state bound
 let int t bound = Random.State.int t.state bound
 let bool t = Random.State.bool t.state

@@ -17,6 +17,13 @@ val split : t -> t
 (** [split t] derives an independent child stream. The child's sequence
     depends only on the parent's seed and the number of prior splits. *)
 
+val split_at : t -> key:int -> t
+(** [split_at t ~key] derives an independent child stream identified by
+    [key]. Unlike {!split} the result depends only on the parent's seed
+    and [key] — not on how many other children were derived — so
+    per-task streams stay stable when tasks are set up in a different
+    order (e.g. parallel fan-out). *)
+
 val float : t -> float -> float
 (** [float t bound] draws uniformly from [\[0, bound)]. *)
 

@@ -7,6 +7,7 @@ let () =
       ("stats", Test_stats.suite);
       ("eventsim", Test_eventsim.suite);
       ("net", Test_net.suite);
+      ("faults", Test_faults.suite);
       ("cc", Test_cc.suite);
       ("proteus", Test_proteus.suite);
       ("equilibrium", Test_equilibrium.suite);
