@@ -128,4 +128,5 @@ let run () =
   Printf.printf
     "\nShape check: the proportional strawman still takes a large share\n\
      from the latency-sensitive primary (low ratio) — exactly the §2.2\n\
-     argument for using a *different* metric (RTT deviation) instead.\n"
+     argument for using a *different* metric (RTT deviation) instead.\n";
+  Exp_common.emit_manifest "ablation"

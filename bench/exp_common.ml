@@ -20,6 +20,28 @@ let trials () = pick ~fast:1 ~default:3 ~full:10
 let single_duration () = pick ~fast:25.0 ~default:60.0 ~full:100.0
 let pair_duration () = pick ~fast:40.0 ~default:80.0 ~full:140.0
 
+let scale_name () =
+  match !scale with Fast -> "fast" | Default -> "default" | Full -> "full"
+
+(* ---------- observability ---------- *)
+
+(* `--trace FILE` / `--metrics FILE`: experiments that support per-run
+   tracing (the faults smoke) export the bus / a metrics snapshot to
+   these paths. JSONL unless the trace path ends in `.csv`. *)
+let trace_file : string option ref = ref None
+let metrics_file : string option ref = ref None
+
+(* One manifest next to each experiment's output, recording what
+   produced it. Execution details (`--jobs`) are deliberately excluded
+   so CI's determinism gate can byte-compare manifests across fan-out
+   widths; the scale knob changes the numbers, so it is included. *)
+let emit_manifest ?seed ?(params = []) ?metrics ?registry id =
+  let path = "MANIFEST_" ^ id ^ ".json" in
+  Proteus_obs.Manifest.write ~path ~run:id ?seed ~scenario:id
+    ~params:(("scale", scale_name ()) :: params)
+    ?metrics ?registry ();
+  Printf.printf "(wrote %s)\n" path
+
 (* ---------- multicore fan-out ---------- *)
 
 (* Worker pool shared by every experiment; sized by `--jobs N`

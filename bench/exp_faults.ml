@@ -303,7 +303,20 @@ let run () =
         r.mean.fairness_jain r.mean.loss_frac)
     rows;
   emit_json rows;
-  Printf.printf "\n(wrote BENCH_faults.json)\n"
+  Printf.printf "\n(wrote BENCH_faults.json)\n";
+  Exp_common.emit_manifest ~seed:20_260_806
+    ~params:
+      [
+        ("bandwidth_mbps", Printf.sprintf "%g" base_bw);
+        ("rtt_ms", "30");
+        ("buffer_bytes", "150000");
+        ("duration_s", Printf.sprintf "%g" (duration ()));
+        ("fault_start_s", Printf.sprintf "%g" (fault_start ()));
+        ("scenarios", string_of_int (List.length (scenarios ())));
+        ("protocols", string_of_int (List.length protos));
+        ("trials", string_of_int (Exp_common.trials ()));
+      ]
+    "faults"
 
 (* ---------- smoke (wired into `dune runtest` via @faults-smoke) ---------- *)
 
@@ -319,13 +332,45 @@ let smoke () =
       ~schedule:[ (1.5, Link.Down { duration = 2.0; flush = false }) ]
       ~bandwidth_mbps:base_bw ~rtt_ms:30.0 ~buffer_bytes:150_000 ()
   in
+  (* The smoke is the trace-capable experiment: with `--trace FILE` each
+     protocol's run records the full event stream (one bus per run,
+     exported with a per-run label); `--metrics FILE` snapshots every
+     run into one registry (flow instruments are keyed by protocol
+     label, kernel counters accumulate across runs). Tracing consumes
+     no randomness, so the printed numbers are identical either way. *)
+  let trace_oc =
+    Option.map (fun f -> (f, open_out f)) !Exp_common.trace_file
+  in
+  let registry =
+    Option.map
+      (fun f -> (f, Proteus_obs.Metrics.create ()))
+      !Exp_common.metrics_file
+  in
+  let header_written = ref false in
   List.iter
     (fun (p : Exp_common.proto) ->
-      let r = Net.Runner.create ~seed:11 cfg in
+      let trace =
+        match trace_oc with
+        | Some _ -> Proteus_obs.Trace.create ()
+        | None -> Proteus_obs.Trace.disabled
+      in
+      let r = Net.Runner.create ~seed:11 ~trace cfg in
       let audit = Net.Runner.attach_audit r in
       let f = Net.Runner.add_flow r ~stop:4.0 ~label:p.name ~factory:(p.make ()) in
       Net.Runner.run r ~until:5.0;
       Net.Audit.assert_quiesced audit;
+      (match trace_oc with
+      | Some (path, oc) ->
+          if Filename.check_suffix path ".csv" then begin
+            Proteus_obs.Export.write_trace_csv ~run:p.name
+              ~header:(not !header_written) oc trace;
+            header_written := true
+          end
+          else Proteus_obs.Export.write_trace_jsonl ~run:p.name oc trace
+      | None -> ());
+      (match registry with
+      | Some (_, reg) -> Net.Runner.snapshot_metrics r reg
+      | None -> ());
       let st = Net.Runner.stats f in
       Printf.printf
         "%-12s ok  (%d events audited, %d sent / %d acked / %d lost)\n" p.name
@@ -334,4 +379,14 @@ let smoke () =
         (Net.Flow_stats.packets_acked st)
         (Net.Flow_stats.packets_lost st))
     protos;
+  (match trace_oc with
+  | Some (path, oc) ->
+      close_out oc;
+      Printf.printf "(wrote %s)\n" path
+  | None -> ());
+  (match registry with
+  | Some (path, reg) ->
+      Proteus_obs.Export.metrics_to_file ~path reg;
+      Printf.printf "(wrote %s)\n" path
+  | None -> ());
   Printf.printf "faults-smoke: all %d protocols clean\n" (List.length protos)

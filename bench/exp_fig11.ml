@@ -102,4 +102,5 @@ let run () =
   Printf.printf
     "\nShape check: Proteus-S in the background is nearly invisible to\n\
      both applications; LEDBAT noticeably degrades them (2.5x lower DASH\n\
-     bitrate at 8 videos in the paper); CUBIC is worst.\n"
+     bitrate at 8 videos in the paper); CUBIC is worst.\n";
+  Exp_common.emit_manifest "fig11"

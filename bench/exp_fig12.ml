@@ -106,4 +106,5 @@ let run () =
                    ~full:[ 90.0; 100.0; 110.0; 120.0; 130.0; 140.0 ]);
   Printf.printf
     "\nShape check: Proteus-H's rebuffer ratio is consistently below\n\
-     Proteus-P's (34%% lower at 110 Mbps in the paper).\n"
+     Proteus-P's (34%% lower at 110 Mbps in the paper).\n";
+  Exp_common.emit_manifest "fig12"

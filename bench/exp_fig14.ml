@@ -45,4 +45,5 @@ let run () =
   Printf.printf
     "\nShape check: BBR-S yields against BBR and CUBIC while sharing\n\
      roughly fairly with another BBR-S. (Threshold recalibrated to the\n\
-     simulator's noise floor — see DESIGN.md.)\n"
+     simulator's noise floor — see DESIGN.md.)\n";
+  Exp_common.emit_manifest "fig14"

@@ -97,4 +97,5 @@ let run () =
     "Shape check: deviation separates congested from idle windows far\n\
      better (lower confusion) than the gradient. Absolute levels are\n\
      higher than the paper's because our simulated short flows finish\n\
-     faster (no handshake), leaving more genuinely idle windows.\n"
+     faster (no handshake), leaving more genuinely idle windows.\n";
+  Exp_common.emit_manifest "fig2"

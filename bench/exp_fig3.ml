@@ -68,4 +68,5 @@ let run ?(appendix = false) () =
   Printf.printf
     "\nShape check: Proteus/BBR/Vivace saturate with a few-KB buffer;\n\
      CUBIC and COPA need several-fold more; LEDBAT needs ~BDP (150 KB)\n\
-     and keeps inflation ~1.0 until the buffer exceeds its delay target.\n"
+     and keeps inflation ~1.0 until the buffer exceeds its delay target.\n";
+  Exp_common.emit_manifest (if appendix then "figB-buffers" else "fig3")

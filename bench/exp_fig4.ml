@@ -50,4 +50,5 @@ let run ?(appendix = false) () =
     rows;
   Printf.printf
     "\nShape check: LEDBAT degrades sharply from the smallest loss rates;\n\
-     Proteus/Vivace hold throughput to ~5%%; BBR and COPA are insensitive.\n"
+     Proteus/Vivace hold throughput to ~5%%; BBR and COPA are insensitive.\n";
+  Exp_common.emit_manifest (if appendix then "figB-loss" else "fig4")

@@ -101,4 +101,5 @@ let run ?(appendix = false) () =
     "\nShape check: primaries stay ~0.97+; Proteus-S stays well above\n\
      LEDBAT at every n; LEDBAT declines with n (latecomer unfairness)\n\
      and LEDBAT-25 is worse than LEDBAT-100.\n";
-  if appendix then traces ()
+  if appendix then traces ();
+  Exp_common.emit_manifest (if appendix then "figB-fairness" else "fig5")

@@ -170,4 +170,5 @@ let run ?(appendix = false) () =
   Printf.printf
     "\nShape check: Proteus-S keeps primary ratio >= ~90%% everywhere and\n\
      RTT ratio ~1; LEDBAT fair-shares with CUBIC, crushes latency-aware\n\
-     primaries, and inflates their RTT (e.g. ~2x for COPA).\n"
+     primaries, and inflates their RTT (e.g. ~2x for COPA).\n";
+  Exp_common.emit_manifest (if appendix then "figB-yield" else "fig6")

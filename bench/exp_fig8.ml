@@ -64,4 +64,5 @@ let run () =
     [ Exp_common.bbr; Exp_common.cubic; Exp_common.proteus_p ];
   Printf.printf
     "\nShape check: the Proteus-S CDF lies to the right of LEDBAT's for\n\
-     every primary (paper medians: +7.8%% BBR, +28%% CUBIC, +2.8x Proteus-P).\n"
+     every primary (paper medians: +7.8%% BBR, +28%% CUBIC, +2.8x Proteus-P).\n";
+  Exp_common.emit_manifest "fig8"

@@ -113,4 +113,5 @@ let run ?(appendix = false) () =
     Exp_common.header "Fig. 9+10 — real-world-style WiFi evaluation (emulated)";
     fig9 ~lineup:Exp_common.lineup;
     fig10 ~scavengers:[ Exp_common.proteus_s; Exp_common.ledbat_100 ]
-  end
+  end;
+  Exp_common.emit_manifest (if appendix then "figB-wifi" else "fig9")

@@ -187,4 +187,5 @@ let run () =
       Printf.printf "%-44s %14s %18s\n" name (str ns) (str words))
     rows;
   emit_json rows;
-  Printf.printf "\n(wrote BENCH_micro.json)\n"
+  Printf.printf "\n(wrote BENCH_micro.json)\n";
+  Exp_common.emit_manifest "micro"

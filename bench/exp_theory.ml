@@ -59,4 +59,5 @@ let run () =
      Thms 4.1/4.2). Mixed rows diverge by design: the fluid model parks\n\
      P and S at an equal split, while the measured scavenger yields —\n\
      Proteus-S's deprioritization is a dynamic effect of the deviation\n\
-     signal, not a static property of the utility equilibrium.\n"
+     signal, not a static property of the utility equilibrium.\n";
+  Exp_common.emit_manifest "theory"

@@ -7,7 +7,11 @@
 
    --jobs N fans independent trials/protocol runs across N domains;
    results are bit-identical to --jobs 1 (every trial owns its seeded
-   RNG and par_map preserves ordering). *)
+   RNG and par_map preserves ordering).
+
+   --trace FILE / --metrics FILE export the observability bus and a
+   metrics snapshot from experiments that support per-run tracing
+   (currently faults-smoke); tracing never changes results. *)
 
 let experiments : (string * (unit -> unit)) list =
   [
@@ -43,8 +47,11 @@ let usage () =
     (String.concat " " appendix_ids);
   Printf.printf
     "options:\n\
-    \  --jobs N   run independent trials/protocols on N domains\n\
-    \             (N=0 picks the recommended domain count)\n"
+    \  --jobs N       run independent trials/protocols on N domains\n\
+    \                 (N=0 picks the recommended domain count)\n\
+    \  --trace FILE   export the trace bus (JSONL, or CSV if FILE ends\n\
+    \                 in .csv) from trace-capable experiments\n\
+    \  --metrics FILE export a metrics-registry snapshot (JSON)\n"
 
 let parse_jobs s =
   match int_of_string_opt s with
@@ -70,11 +77,28 @@ let () =
     | [ "--jobs" ] ->
         Printf.eprintf "--jobs expects an argument\n";
         exit 1
+    | "--trace" :: f :: rest ->
+        Exp_common.trace_file := Some f;
+        parse acc rest
+    | "--metrics" :: f :: rest ->
+        Exp_common.metrics_file := Some f;
+        parse acc rest
+    | [ ("--trace" | "--metrics") ] ->
+        Printf.eprintf "--trace/--metrics expect a file argument\n";
+        exit 1
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
     | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
         Exp_common.set_jobs (parse_jobs (String.sub a 7 (String.length a - 7)));
+        parse acc rest
+    | a :: rest when String.length a > 8 && String.sub a 0 8 = "--trace=" ->
+        Exp_common.trace_file := Some (String.sub a 8 (String.length a - 8));
+        parse acc rest
+    | a :: rest when String.length a > 10 && String.sub a 0 10 = "--metrics="
+      ->
+        Exp_common.metrics_file :=
+          Some (String.sub a 10 (String.length a - 10));
         parse acc rest
     | id :: rest -> parse (id :: acc) rest
   in

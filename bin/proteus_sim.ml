@@ -64,7 +64,10 @@ let parse_noise = function
       | None -> Error "bad gaussian sigma")
   | s -> Error (Printf.sprintf "unknown noise model %S" s)
 
-let run bw rtt buffer_kb loss noise duration seed series specs =
+module Obs = Proteus_obs
+
+let run bw rtt buffer_kb loss noise duration seed series trace_file
+    metrics_file manifest_file specs =
   match
     ( List.map parse_flow_spec specs
       |> List.fold_left
@@ -91,7 +94,12 @@ let run bw rtt buffer_kb loss noise duration seed series specs =
           ~buffer_bytes:(Net.Units.kb buffer_kb)
           ()
       in
-      let runner = Net.Runner.create ~seed cfg in
+      let trace =
+        match trace_file with
+        | Some _ -> Obs.Trace.create ()
+        | None -> Obs.Trace.disabled
+      in
+      let runner = Net.Runner.create ~seed ~trace cfg in
       let handles =
         List.mapi
           (fun i spec ->
@@ -150,7 +158,42 @@ let run bw rtt buffer_kb loss noise duration seed series specs =
               Array.iter (fun (_, m) -> Printf.printf "%6.1f" m) s;
               print_newline ())
             handles
-      | _ -> ())
+      | _ -> ());
+      (match trace_file with
+      | Some path ->
+          Obs.Export.trace_to_file ~path trace;
+          Printf.printf "\n(wrote %s: %d events, %d dropped by wraparound)\n"
+            path (Obs.Trace.length trace) (Obs.Trace.dropped trace)
+      | None -> ());
+      let registry =
+        match (metrics_file, manifest_file) with
+        | None, None -> None
+        | _ ->
+            let reg = Obs.Metrics.create () in
+            Net.Runner.snapshot_metrics runner reg;
+            Some reg
+      in
+      (match (metrics_file, registry) with
+      | Some path, Some reg ->
+          Obs.Export.metrics_to_file ~path reg;
+          Printf.printf "(wrote %s)\n" path
+      | _ -> ());
+      match manifest_file with
+      | Some path ->
+          Obs.Manifest.write ~path ~run:"proteus-sim" ~seed
+            ~scenario:(String.concat " " specs)
+            ~params:
+              [
+                ("bandwidth_mbps", Printf.sprintf "%g" bw);
+                ("rtt_ms", Printf.sprintf "%g" rtt);
+                ("buffer_kb", Printf.sprintf "%g" buffer_kb);
+                ("loss", Printf.sprintf "%g" loss);
+                ("noise", noise);
+                ("duration_s", Printf.sprintf "%g" duration);
+              ]
+            ?registry ();
+          Printf.printf "(wrote %s)\n" path
+      | None -> ()
 
 open Cmdliner
 
@@ -181,6 +224,26 @@ let series =
     value & opt (some float) None
     & info [ "series" ] ~docv:"BIN_S" ~doc:"Also print a binned throughput series.")
 
+let trace_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Export the run's trace-bus events (JSONL, or CSV when FILE \
+              ends in .csv). Tracing never changes results.")
+
+let metrics_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Export an end-of-run metrics-registry snapshot (JSON).")
+
+let manifest_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "manifest" ] ~docv:"FILE"
+        ~doc:"Write a run manifest (seed, scenario, link parameters, code \
+              version, metrics snapshot).")
+
 let specs =
   Arg.(value & pos_all string [] & info [] ~docv:"FLOW" ~doc:"Flow specs: PROTO[@START][:SIZE_MB].")
 
@@ -188,6 +251,8 @@ let cmd =
   let doc = "packet-level congestion-control scenarios (PCC Proteus reproduction)" in
   Cmd.v
     (Cmd.info "proteus-sim" ~doc)
-    Term.(const run $ bw $ rtt $ buffer_kb $ loss $ noise $ duration $ seed $ series $ specs)
+    Term.(
+      const run $ bw $ rtt $ buffer_kb $ loss $ noise $ duration $ seed
+      $ series $ trace_file $ metrics_file $ manifest_file $ specs)
 
 let () = exit (Cmd.eval cmd)

@@ -1,6 +1,7 @@
 module Sender = Proteus_net.Sender
 module Units = Proteus_net.Units
 module Rng = Proteus_stats.Rng
+module Trace = Proteus_obs.Trace
 
 type probing_mode = Consistent2 | Majority3
 
@@ -54,6 +55,14 @@ type tag =
   | Move of { epoch : int }
   | Filler
 
+(* Constant labels so Rate_decision trace notes allocate nothing. *)
+let tag_name = function
+  | Start -> "start"
+  | Probe { up = true; _ } -> "probe-up"
+  | Probe _ -> "probe-down"
+  | Move _ -> "move"
+  | Filler -> "filler"
+
 type probing_state = {
   epoch : int;
   base_rate : float; (* bytes/s *)
@@ -80,6 +89,7 @@ type t = {
   ack_filter : Ack_filter.t option;
   rng : Rng.t;
   mtu : int;
+  trace : Trace.t;
   mutable rate : float; (* base rate, bytes/s *)
   mutable phase : phase;
   mutable epoch_counter : int;
@@ -115,6 +125,7 @@ let create (config : config) (env : Sender.env) =
       (if config.use_ack_filter then Some (Ack_filter.create ()) else None);
     rng = env.rng;
     mtu = env.mtu;
+    trace = env.trace;
     rate = Units.mbps_to_bytes_per_sec config.initial_rate_mbps;
     phase = Starting;
     epoch_counter = 0;
@@ -313,20 +324,31 @@ let handle_move_result t ~rate_trialled ~u =
 
 let handle_result t tag (m : Mi.metrics) =
   t.completed_mis <- t.completed_mis + 1;
-  let u = Utility.eval t.utility m in
+  (* Guarded so the disabled-trace path passes no optional arguments
+     (each would box a [Some] cell, and [~now] a float, per MI). *)
+  let u =
+    if Trace.enabled t.trace then
+      Utility.eval ~trace:t.trace ~now:t.now_cache t.utility m
+    else Utility.eval t.utility m
+  in
   (match t.observer with
   | Some f ->
       f ~now:t.now_cache m ~utility:u
         ~rate_mbps:(Units.bytes_per_sec_to_mbps t.rate)
   | None -> ());
   let rate_trialled = Units.mbps_to_bytes_per_sec m.Mi.target_rate_mbps in
-  match (t.phase, tag) with
+  (match (t.phase, tag) with
   | Starting, Start -> handle_start_result t ~rate_trialled ~u
   | Probing ps, Probe { epoch; pair; up } when epoch = ps.epoch ->
       handle_probe_result t ps ~pair ~up ~u
   | Moving mv, Move { epoch } when epoch = mv.epoch ->
       handle_move_result t ~rate_trialled ~u
-  | _, (Start | Probe _ | Move _ | Filler) -> ()
+  | _, (Start | Probe _ | Move _ | Filler) -> ());
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~time:t.now_cache ~kind:Trace.Rate_decision ~flow:(-1)
+      ~seq:t.completed_mis ~a:u
+      ~b:(Units.bytes_per_sec_to_mbps t.rate)
+      ~note:(tag_name tag)
 
 let process_pending t =
   let continue = ref true in
@@ -357,6 +379,12 @@ let close_current t ~now =
   match t.current_mi with
   | Some (mi, tag) ->
       Mi.close mi ~end_time:now;
+      if Trace.enabled t.trace then
+        Trace.emit t.trace ~time:now ~kind:Trace.Mi_boundary ~flow:(-1)
+          ~seq:(Mi.id mi)
+          ~a:(now -. Mi.start_time mi)
+          ~b:(float_of_int (Mi.packets_sent mi))
+          ~note:(tag_name tag);
       t.current_mi <- None;
       if Mi.packets_sent mi = 0 then begin
         (* Nothing was sent in this MI: drop it from the result order. *)

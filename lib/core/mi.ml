@@ -45,6 +45,7 @@ let create ~id ~target_rate ~start_time =
 
 let id t = t.id
 let target_rate t = t.target_rate
+let start_time t = t.start_time
 
 let record_sent t ~size =
   t.sent <- t.sent + 1;

@@ -30,6 +30,7 @@ val create : id:int -> target_rate:float -> start_time:float -> t
 
 val id : t -> int
 val target_rate : t -> float
+val start_time : t -> float
 
 val record_sent : t -> size:int -> unit
 val record_ack : t -> send_time:float -> rtt:float option -> unit

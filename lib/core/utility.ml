@@ -11,8 +11,17 @@ let default_params =
 
 type t = { name : string; eval : Mi.metrics -> float }
 
+module Trace = Proteus_obs.Trace
+
 let name t = t.name
-let eval t m = t.eval m
+
+let eval ?(trace = Trace.disabled) ?(now = 0.0) t m =
+  let u = t.eval m in
+  if Trace.enabled trace then
+    Trace.emit trace ~time:now ~kind:Trace.Utility_sample ~flow:(-1) ~seq:0
+      ~a:u ~b:m.Mi.send_rate_mbps ~note:t.name;
+  u
+
 let make ~name eval = { name; eval }
 
 let rate_term p (m : Mi.metrics) = m.Mi.send_rate_mbps ** p.exponent

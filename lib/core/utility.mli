@@ -24,9 +24,14 @@ type t
 (** A named utility function. *)
 
 val name : t -> string
-val eval : t -> Mi.metrics -> float
+
+val eval : ?trace:Proteus_obs.Trace.t -> ?now:float -> t -> Mi.metrics -> float
 (** Evaluate on (noise-adjusted) MI metrics. The rate term uses the
-    MI's achieved send rate. *)
+    MI's achieved send rate. When [trace] (default disabled) is an
+    enabled bus, each evaluation publishes a [Utility_sample] event at
+    simulated time [now] ([a] = value, [b] = MI send rate in Mbps,
+    [note] = the function's name). Evaluation consumes no randomness
+    either way. *)
 
 val make : name:string -> (Mi.metrics -> float) -> t
 (** Register a custom utility function. *)

@@ -30,6 +30,11 @@ type t = {
   mutable free_len : int;
   mutable dead : int; (* cancelled events still sitting in the heap *)
   mutable trampoline : int -> unit;
+  (* Observability counters: plain int bumps, always on (two or three
+     integer stores per event — cheap enough not to gate). *)
+  mutable n_scheduled : int;
+  mutable n_fired : int;
+  mutable max_queued : int;
 }
 
 type cancel = { sim : t; id : int; gen : int }
@@ -48,6 +53,9 @@ let create () =
       free_len = 0;
       dead = 0;
       trampoline = noop_fn;
+      n_scheduled = 0;
+      n_fired = 0;
+      max_queued = 0;
     }
   in
   t.trampoline <- (fun id -> t.thunks.(id) ());
@@ -83,6 +91,9 @@ let alloc_cell t =
   t.free_len <- t.free_len - 1;
   let id = t.free.(t.free_len) in
   Bytes.unsafe_set t.state id st_live;
+  t.n_scheduled <- t.n_scheduled + 1;
+  let q = Heap.length t.queue + 1 in
+  if q > t.max_queued then t.max_queued <- q;
   id
 
 (* Return a cell to the free list. Clears the callback slots so the
@@ -169,6 +180,7 @@ let run ?until t =
                a handler cancelling its own (already firing) event is a
                no-op rather than corrupting the dead counter. *)
             t.gens.(id) <- t.gens.(id) + 1;
+            t.n_fired <- t.n_fired + 1;
             fn arg;
             release_cell t id
           end
@@ -183,3 +195,6 @@ let run ?until t =
 
 let pending t = Heap.length t.queue - t.dead
 let queued t = Heap.length t.queue
+let events_scheduled t = t.n_scheduled
+let events_fired t = t.n_fired
+let max_queued t = t.max_queued

@@ -55,3 +55,19 @@ val pending : t -> int
 val queued : t -> int
 (** Number of heap entries including not-yet-compacted cancelled
     events. Diagnostic; [queued t - pending t] is the dead count. *)
+
+(** {2 Kernel observability}
+
+    Lifetime counters maintained unconditionally (plain integer bumps
+    on the schedule/fire paths — no gating, no allocation). Snapshot
+    them into a {!Proteus_obs.Metrics} registry to watch event-loop
+    pressure. *)
+
+val events_scheduled : t -> int
+(** Events ever scheduled (including later-cancelled ones). *)
+
+val events_fired : t -> int
+(** Live events dispatched (excludes cancelled reclaims). *)
+
+val max_queued : t -> int
+(** High-water mark of the event queue length. *)

@@ -1,5 +1,7 @@
 exception Violation of string
 
+module Trace = Proteus_obs.Trace
+
 (* Event kinds, encoded as ints so the trace ring stays allocation-free
    in steady state. *)
 let k_sent = 0
@@ -37,11 +39,13 @@ type t = {
   mutable ring_len : int;
   mutable checked : int;
   mutable last_global_time : float;
+  obs : Trace.t;
 }
 
-let create ?(trace = 64) () =
+let create ?(trace = 64) ?(obs = Trace.disabled) () =
   if trace <= 0 then invalid_arg "Audit.create: trace must be positive";
   {
+    obs;
     flows = [||];
     n_flows = 0;
     ring_kind = Array.make trace 0;
@@ -92,6 +96,11 @@ let recent_events t =
 let fail t fmt =
   Printf.ksprintf
     (fun msg ->
+      (* Fatal path: publishing the violation on the observability bus is
+         allowed to allocate. *)
+      if Trace.enabled t.obs then
+        Trace.emit t.obs ~time:t.last_global_time ~kind:Trace.Audit_violation
+          ~flow:(-1) ~seq:t.checked ~a:0.0 ~b:0.0 ~note:msg;
       let trace = String.concat "\n" (recent_events t) in
       raise
         (Violation

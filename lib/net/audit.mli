@@ -28,9 +28,11 @@ exception Violation of string
 
 type t
 
-val create : ?trace:int -> unit -> t
+val create : ?trace:int -> ?obs:Proteus_obs.Trace.t -> unit -> t
 (** Fresh auditor keeping the last [trace] (default 64) events for the
-    violation report. *)
+    violation report. [obs] (default disabled) is the observability bus:
+    each violation is published there as an [Audit_violation] event
+    (note = the failure message) before {!Violation} is raised. *)
 
 val register_flow : t -> label:string -> int
 (** Register a flow; the returned id is passed to the event hooks. *)

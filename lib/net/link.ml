@@ -1,4 +1,5 @@
 module Rng = Proteus_stats.Rng
+module Trace = Proteus_obs.Trace
 
 type loss_model =
   | Iid of float
@@ -145,9 +146,10 @@ type t = {
      nondecreasing so mid-run RTT reductions cannot violate the Noise
      precondition. *)
   mutable last_nominal : float;
+  trace : Trace.t;
 }
 
-let create cfg ~rng =
+let create ?(trace = Trace.disabled) cfg ~rng =
   validate cfg;
   let sorted =
     List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) cfg.schedule
@@ -177,6 +179,7 @@ let create cfg ~rng =
     reorder_extra = Units.ms cfg.reorder_extra_ms;
     dup_prob = cfg.dup_prob;
     last_nominal = neg_infinity;
+    trace;
   }
 
 (* Apply schedule entries whose time has passed. Rate changes convert
@@ -194,20 +197,40 @@ let sync t ~now =
     | Set_bandwidth mbps ->
         let unserved = Float.max 0.0 (t.free_at -. tc) *. t.capacity in
         t.capacity <- Units.mbps_to_bytes_per_sec mbps;
-        t.free_at <- tc +. (unserved /. t.capacity)
-    | Set_rtt ms -> t.prop_one_way <- Units.ms ms /. 2.0
-    | Set_buffer b -> t.buffer_bytes <- float_of_int b
+        t.free_at <- tc +. (unserved /. t.capacity);
+        if Trace.enabled t.trace then
+          Trace.emit t.trace ~time:tc ~kind:Trace.Impairment ~flow:(-1)
+            ~seq:t.sched_idx ~a:mbps ~b:0.0 ~note:"set-bandwidth"
+    | Set_rtt ms ->
+        t.prop_one_way <- Units.ms ms /. 2.0;
+        if Trace.enabled t.trace then
+          Trace.emit t.trace ~time:tc ~kind:Trace.Impairment ~flow:(-1)
+            ~seq:t.sched_idx ~a:ms ~b:0.0 ~note:"set-rtt"
+    | Set_buffer b ->
+        t.buffer_bytes <- float_of_int b;
+        if Trace.enabled t.trace then
+          Trace.emit t.trace ~time:tc ~kind:Trace.Impairment ~flow:(-1)
+            ~seq:t.sched_idx ~a:(float_of_int b) ~b:0.0 ~note:"set-buffer"
     | Set_loss m ->
         t.loss <- m;
-        t.ge_bad <- false
+        t.ge_bad <- false;
+        if Trace.enabled t.trace then
+          Trace.emit t.trace ~time:tc ~kind:Trace.Impairment ~flow:(-1)
+            ~seq:t.sched_idx ~a:(average_loss m) ~b:0.0 ~note:"set-loss"
     | Down { duration; flush } ->
         let o_end = tc +. duration in
-        t.free_at <- (if flush then o_end else Float.max t.free_at o_end));
+        t.free_at <- (if flush then o_end else Float.max t.free_at o_end);
+        if Trace.enabled t.trace then
+          Trace.emit t.trace ~time:tc ~kind:Trace.Impairment ~flow:(-1)
+            ~seq:t.sched_idx ~a:duration
+            ~b:(if flush then 1.0 else 0.0)
+            ~note:"down");
     t.sched_idx <- t.sched_idx + 1
   done;
-  while
-    t.out_idx < Array.length t.out_end && t.out_end.(t.out_idx) <= now
-  do
+  while t.out_idx < Array.length t.out_end && t.out_end.(t.out_idx) <= now do
+    if Trace.enabled t.trace then
+      Trace.emit t.trace ~time:(t.out_end.(t.out_idx)) ~kind:Trace.Impairment
+        ~flow:(-1) ~seq:t.out_idx ~a:0.0 ~b:0.0 ~note:"up";
     t.out_idx <- t.out_idx + 1
   done
 

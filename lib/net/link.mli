@@ -100,10 +100,12 @@ type outcome =
 
 type t
 
-val create : config -> rng:Proteus_stats.Rng.t -> t
+val create : ?trace:Proteus_obs.Trace.t -> config -> rng:Proteus_stats.Rng.t -> t
 (** Raises [Invalid_argument] on an invalid configuration (see
     {!config}) — this is the choke point for records built without the
-    smart constructor. *)
+    smart constructor. [trace] (default disabled) receives an
+    [Impairment] event each time a schedule entry is applied and when
+    an outage window ends (note ["up"]). *)
 
 val capacity_bytes_per_sec : t -> float
 (** Current service rate (reflects schedule entries applied so far). *)

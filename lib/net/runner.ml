@@ -1,5 +1,7 @@
 module Sim = Proteus_eventsim.Sim
 module Rng = Proteus_stats.Rng
+module Trace = Proteus_obs.Trace
+module Metrics = Proteus_obs.Metrics
 
 (* Cap on packets transmitted per poll before yielding back to the event
    loop, so simultaneous events from other flows interleave fairly. *)
@@ -48,19 +50,20 @@ type t = {
   sim : Sim.t;
   link : Link.t;
   root_rng : Rng.t;
+  trace : Trace.t;
   mutable flows : flow list;
   mutable next_id : int;
   mutable audit : Audit.t option;
 }
 
-let create ?(seed = 42) link_cfg =
+let create ?(seed = 42) ?(trace = Trace.disabled) link_cfg =
   let root_rng = Rng.create ~seed in
   let sim = Sim.create () in
-  let link = Link.create link_cfg ~rng:(Rng.split root_rng) in
-  { sim; link; root_rng; flows = []; next_id = 0; audit = None }
+  let link = Link.create ~trace link_cfg ~rng:(Rng.split root_rng) in
+  { sim; link; root_rng; trace; flows = []; next_id = 0; audit = None }
 
 let attach_audit ?trace t =
-  let a = Audit.create ?trace () in
+  let a = Audit.create ?trace ~obs:t.trace () in
   (* [t.flows] is newest-first; register in id order so the auditor's
      ids coincide with [flow.id]. *)
   List.iter
@@ -152,6 +155,12 @@ and transmit t f budget =
   if f.remaining >= 0 then f.remaining <- f.remaining - size;
   Flow_stats.record_sent f.stats ~now ~size;
   Sender.on_sent f.sender ~now ~seq ~size;
+  if Trace.enabled t.trace then begin
+    Trace.emit t.trace ~time:now ~kind:Trace.Send ~flow:f.id ~seq
+      ~a:(float_of_int size) ~b:0.0 ~note:"";
+    Trace.emit t.trace ~time:now ~kind:Trace.Queue_sample ~flow:f.id ~seq:0
+      ~a:(Link.backlog_bytes t.link ~now) ~b:0.0 ~note:""
+  end;
   (match t.audit with
   | Some a -> Audit.on_sent a ~flow:f.id ~seq ~size ~now
   | None -> ());
@@ -191,6 +200,9 @@ and kick t f =
 
 and handle_ack t f ~seq ~send_time ~size ~rtt =
   let now = Sim.now t.sim in
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~time:now ~kind:Trace.Ack ~flow:f.id ~seq ~a:rtt
+      ~b:(float_of_int size) ~note:"";
   (match t.audit with
   | Some a ->
       Audit.on_ack a ~flow:f.id ~seq ~size ~now;
@@ -210,6 +222,9 @@ and handle_ack t f ~seq ~send_time ~size ~rtt =
 
 and handle_dup_ack t f ~seq ~send_time ~size ~rtt =
   let now = Sim.now t.sim in
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~time:now ~kind:Trace.Dup_ack ~flow:f.id ~seq ~a:rtt
+      ~b:(float_of_int size) ~note:"";
   (match t.audit with
   | Some a -> Audit.on_dup_ack a ~flow:f.id ~seq ~now
   | None -> ());
@@ -222,6 +237,9 @@ and handle_dup_ack t f ~seq ~send_time ~size ~rtt =
 
 and handle_loss t f ~seq ~send_time ~size =
   let now = Sim.now t.sim in
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~time:now ~kind:Trace.Loss ~flow:f.id ~seq
+      ~a:(float_of_int size) ~b:0.0 ~note:"";
   (match t.audit with
   | Some a ->
       Audit.on_loss a ~flow:f.id ~seq ~size ~now;
@@ -259,7 +277,9 @@ let on_dup_ack_event t f idx =
 
 let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
     ~label ~factory =
-  let env = { Sender.rng = Rng.split t.root_rng; mtu = Units.mtu } in
+  let env =
+    { Sender.rng = Rng.split t.root_rng; mtu = Units.mtu; trace = t.trace }
+  in
   let bytes = match size_bytes with Some b -> b | None -> -1 in
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -309,6 +329,41 @@ let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
   t.flows <- f :: t.flows;
   schedule_poll t f ~time:start;
   f
+
+let snapshot_metrics t reg =
+  let now = Sim.now t.sim in
+  Metrics.set (Metrics.gauge reg "sim.now-s") now;
+  Metrics.incr
+    ~by:(Sim.events_scheduled t.sim)
+    (Metrics.counter reg "sim.events-scheduled");
+  Metrics.incr ~by:(Sim.events_fired t.sim) (Metrics.counter reg "sim.events-fired");
+  Metrics.incr ~by:(Sim.max_queued t.sim) (Metrics.counter reg "sim.max-queued");
+  if Trace.enabled t.trace then begin
+    Metrics.incr ~by:(Trace.total_emitted t.trace)
+      (Metrics.counter reg "trace.emitted");
+    Metrics.incr ~by:(Trace.dropped t.trace) (Metrics.counter reg "trace.dropped")
+  end;
+  Metrics.set (Metrics.gauge reg "link.backlog-bytes") (Link.backlog_bytes t.link ~now);
+  List.iter
+    (fun f ->
+      let s = f.stats in
+      let p n = "flow." ^ f.label ^ "." ^ n in
+      Metrics.incr ~by:(Flow_stats.packets_sent s) (Metrics.counter reg (p "sent"));
+      Metrics.incr ~by:(Flow_stats.packets_acked s)
+        (Metrics.counter reg (p "acked"));
+      Metrics.incr ~by:(Flow_stats.packets_lost s) (Metrics.counter reg (p "lost"));
+      Metrics.incr
+        ~by:(Flow_stats.packets_dup_acked s)
+        (Metrics.counter reg (p "dup-acks"));
+      Metrics.set (Metrics.gauge reg (p "acked-bytes")) (Flow_stats.bytes_acked s);
+      Metrics.set
+        (Metrics.gauge reg (p "throughput-mbps"))
+        (Flow_stats.throughput_mbps s ~t0:0.0 ~t1:(Float.max now 1e-9));
+      let h = Metrics.histogram reg (p "rtt-ms") ~lo:0.0 ~hi:1000.0 ~bins:200 in
+      Array.iter
+        (fun rtt -> Metrics.observe h (rtt *. 1e3))
+        (Flow_stats.rtt_samples s ~t0:0.0 ~t1:infinity))
+    (List.rev t.flows)
 
 let pause _t f = f.paused <- true
 

@@ -11,10 +11,16 @@
 type t
 type flow
 
-val create : ?seed:int -> Link.config -> t
+val create : ?seed:int -> ?trace:Proteus_obs.Trace.t -> Link.config -> t
 (** Fresh scenario over a link with the given configuration. The seed
     (default 42) determines all randomness: link loss, noise, sender
-    probing order, workload arrivals. *)
+    probing order, workload arrivals. [trace] (default disabled) is the
+    observability bus: the runner publishes packet-level events
+    ([Send], [Ack], [Dup_ack], [Loss], [Queue_sample]), the link
+    publishes [Impairment] transitions, and senders receive the same
+    bus through their {!Sender.env}. Tracing consumes no randomness and
+    never alters control flow, so seeded runs are bit-identical with
+    tracing on or off. *)
 
 val sim : t -> Proteus_eventsim.Sim.t
 val link : t -> Link.t
@@ -56,10 +62,20 @@ val attach_audit : ?trace:int -> t -> Audit.t
     auditor treats deliveries of packets it never saw sent as
     conservation violations. Attaching again replaces the previous
     auditor. [trace] bounds the ring-buffer trace embedded in
-    {!Audit.Violation} reports. *)
+    {!Audit.Violation} reports. The auditor shares the runner's
+    observability bus, so violations also surface as [Audit_violation]
+    trace events. *)
 
 val audit : t -> Audit.t option
 (** The currently attached auditor, if any. *)
+
+val snapshot_metrics : t -> Proteus_obs.Metrics.t -> unit
+(** Populate a metrics registry with an end-of-run snapshot: event-kernel
+    counters ([sim.*]), trace-bus counters ([trace.*]) when tracing is
+    enabled, the current link backlog, and per-flow packet counters,
+    goodput gauges and an RTT histogram ([flow.<label>.*]). Counters are
+    bumped by the totals at call time, so call once per registry (an
+    end-of-run snapshot, not an incremental feed). *)
 
 val run : t -> until:float -> unit
 (** Advance the simulation to the given time. May be called repeatedly

@@ -1,4 +1,11 @@
-type env = { rng : Proteus_stats.Rng.t; mtu : int }
+type env = {
+  rng : Proteus_stats.Rng.t;
+  mtu : int;
+  trace : Proteus_obs.Trace.t;
+}
+
+let make_env ?(trace = Proteus_obs.Trace.disabled) ~rng ~mtu () =
+  { rng; mtu; trace }
 type decision = [ `Now | `At of float | `Blocked ]
 
 module type S = sig

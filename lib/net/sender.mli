@@ -17,7 +17,16 @@
 type env = {
   rng : Proteus_stats.Rng.t;  (** Private random stream for the sender. *)
   mtu : int;  (** Packet payload size in bytes. *)
+  trace : Proteus_obs.Trace.t;
+      (** Observability bus the sender may publish decision events to
+          (MI boundaries, rate decisions, utility samples). Defaults to
+          {!Proteus_obs.Trace.disabled}; senders must guard emission
+          with {!Proteus_obs.Trace.enabled}. *)
 }
+
+val make_env :
+  ?trace:Proteus_obs.Trace.t -> rng:Proteus_stats.Rng.t -> mtu:int -> unit -> env
+(** Convenience constructor defaulting [trace] to the disabled bus. *)
 
 type decision =
   [ `Now  (** Transmit a packet immediately. *)

@@ -1,0 +1,49 @@
+(** Exporters for trace buffers and metric registries.
+
+    Traces export as JSONL (one JSON object per line — [t], [kind],
+    [flow], [seq], [a], [b], optional [note] and [run]) or CSV; the
+    format is picked from the file extension ([.csv] means CSV) by the
+    [~path] variants. Metric registries export as a single JSON
+    document (schema [pcc-proteus-metrics/1]).
+
+    Everything here is hand-rolled string building — no JSON library
+    dependency — matching the BENCH_*.json emitters. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)
+
+val json_float : float -> string
+(** Compact float literal; non-finite values map to [null]. *)
+
+(** {1 Traces} *)
+
+val write_trace_jsonl : ?run:string -> out_channel -> Trace.t -> unit
+(** Append every buffered event, oldest first, one JSON object per
+    line. [run] adds a ["run"] field to each line, to tag events when
+    several runs share one file. *)
+
+val write_trace_csv :
+  ?run:string -> ?header:bool -> out_channel -> Trace.t -> unit
+(** CSV rows ([header] defaults to true). *)
+
+val trace_to_file : ?run:string -> path:string -> Trace.t -> unit
+(** Write (truncate) [path]; CSV when the extension is [.csv], JSONL
+    otherwise. *)
+
+val write_trace : ?run:string -> out_channel -> path:string -> Trace.t -> unit
+(** As {!trace_to_file} on an already-open channel ([path] only picks
+    the format). *)
+
+(** {1 Metrics} *)
+
+val metrics_to_string : Metrics.t -> string
+val write_metrics : out_channel -> Metrics.t -> unit
+val metrics_to_file : path:string -> Metrics.t -> unit
+
+(** {1 Re-import} *)
+
+val parse_histogram : name:string -> string -> (float * float * int array) option
+(** [parse_histogram ~name json] recovers [(lo, hi, counts)] of the
+    named histogram from a {!metrics_to_string} document. Minimal
+    scanner for this module's own output — used by round-trip tests and
+    small post-processing scripts, not a general JSON parser. *)

@@ -1,0 +1,95 @@
+module Welford = Proteus_stats.Welford
+module Histogram = Proteus_stats.Histogram
+
+type counter = { c_name : string; mutable value : int }
+type gauge = { g_name : string; mutable last : float; dist : Welford.t }
+type hist = { h_name : string; h : Histogram.t; summary : Welford.t }
+
+type entry = Counter of counter | Gauge of gauge | Hist of hist
+
+type t = {
+  by_name : (string, entry) Hashtbl.t;
+  mutable order : entry list; (* newest first; reversed on iteration *)
+}
+
+let create () = { by_name = Hashtbl.create 32; order = [] }
+
+let register t name entry =
+  Hashtbl.replace t.by_name name entry;
+  t.order <- entry :: t.order;
+  entry
+
+let entry_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Hist h -> h.h_name
+
+let counter t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Counter c) -> c
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics.counter: %S is registered as another kind" name)
+  | None -> (
+      match register t name (Counter { c_name = name; value = 0 }) with
+      | Counter c -> c
+      | _ -> assert false)
+
+let incr ?(by = 1) c = c.value <- c.value + by
+let counter_value c = c.value
+let counter_name c = c.c_name
+
+let gauge t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Gauge g) -> g
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics.gauge: %S is registered as another kind" name)
+  | None -> (
+      match
+        register t name
+          (Gauge { g_name = name; last = Float.nan; dist = Welford.create () })
+      with
+      | Gauge g -> g
+      | _ -> assert false)
+
+let set g v =
+  g.last <- v;
+  Welford.add g.dist v
+
+let gauge_last g = g.last
+let gauge_stats g = g.dist
+let gauge_name g = g.g_name
+
+let histogram t name ~lo ~hi ~bins =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Hist h) -> h
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %S is registered as another kind"
+           name)
+  | None -> (
+      match
+        register t name
+          (Hist
+             {
+               h_name = name;
+               h = Histogram.create ~lo ~hi ~bins;
+               summary = Welford.create ();
+             })
+      with
+      | Hist h -> h
+      | _ -> assert false)
+
+let observe h v =
+  Histogram.add h.h v;
+  Welford.add h.summary v
+
+let hist_histogram h = h.h
+let hist_summary h = h.summary
+let hist_name h = h.h_name
+
+let fold t ~init ~f = List.fold_left f init (List.rev t.order)
+let iter t ~f = List.iter f (List.rev t.order)
+let find t name = Hashtbl.find_opt t.by_name name
+let cardinal t = List.length t.order

@@ -1,0 +1,64 @@
+(** Named metrics registry: counters, gauges and histograms.
+
+    A registry is instance-scoped (one per run / runner), never global,
+    so parallel trial fan-out stays race-free and deterministic.
+    Registration allocates; updates touch only mutable fields (plus the
+    float boxing inherent to {!Proteus_stats.Welford}), so recording at
+    MI- or event-rate is cheap. Instruments are identified by name:
+    asking for an existing name returns the existing instrument, and
+    asking for a name registered as a different kind raises
+    [Invalid_argument]. Iteration order is registration order, so
+    exports are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+(** {1 Gauges}
+
+    A gauge records the last value set plus a Welford summary
+    (n / mean / stddev / min / max) of every value it ever held. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+
+val gauge_last : gauge -> float
+(** NaN until the first {!set}. *)
+
+val gauge_stats : gauge -> Proteus_stats.Welford.t
+
+val gauge_name : gauge -> string
+
+(** {1 Histograms} *)
+
+type hist
+
+val histogram : t -> string -> lo:float -> hi:float -> bins:int -> hist
+(** Fixed-range histogram (see {!Proteus_stats.Histogram}: values
+    outside \[lo, hi) clamp to the edge bins) plus a Welford summary. *)
+
+val observe : hist -> float -> unit
+val hist_histogram : hist -> Proteus_stats.Histogram.t
+val hist_summary : hist -> Proteus_stats.Welford.t
+val hist_name : hist -> string
+
+(** {1 Enumeration} *)
+
+type entry = Counter of counter | Gauge of gauge | Hist of hist
+
+val entry_name : entry -> string
+val fold : t -> init:'a -> f:('a -> entry -> 'a) -> 'a
+val iter : t -> f:(entry -> unit) -> unit
+val find : t -> string -> entry option
+val cardinal : t -> int

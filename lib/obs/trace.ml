@@ -1,0 +1,175 @@
+(* Typed, ring-buffered trace bus.
+
+   Events live in parallel (structure-of-arrays) rings: two int fields,
+   two float fields, a kind byte and an interned note string per slot.
+   Emitting into an enabled bus therefore allocates nothing in steady
+   state — fields are stored into preallocated arrays — and a disabled
+   bus costs callers a single field load and branch, because every
+   instrumentation site is written as
+
+     if Trace.enabled tr then Trace.emit tr ... ;
+
+   so the (possibly boxing) argument computation is never executed when
+   tracing is off. The shared {!disabled} bus is immutable and safe to
+   hold from any domain. *)
+
+type kind =
+  | Send
+  | Ack
+  | Loss
+  | Dup_ack
+  | Mi_boundary
+  | Rate_decision
+  | Utility_sample
+  | Impairment
+  | Queue_sample
+  | Audit_violation
+
+let kind_code = function
+  | Send -> 0
+  | Ack -> 1
+  | Loss -> 2
+  | Dup_ack -> 3
+  | Mi_boundary -> 4
+  | Rate_decision -> 5
+  | Utility_sample -> 6
+  | Impairment -> 7
+  | Queue_sample -> 8
+  | Audit_violation -> 9
+
+let kind_of_code = function
+  | 0 -> Send
+  | 1 -> Ack
+  | 2 -> Loss
+  | 3 -> Dup_ack
+  | 4 -> Mi_boundary
+  | 5 -> Rate_decision
+  | 6 -> Utility_sample
+  | 7 -> Impairment
+  | 8 -> Queue_sample
+  | _ -> Audit_violation
+
+let kind_name = function
+  | Send -> "send"
+  | Ack -> "ack"
+  | Loss -> "loss"
+  | Dup_ack -> "dup-ack"
+  | Mi_boundary -> "mi-boundary"
+  | Rate_decision -> "rate-decision"
+  | Utility_sample -> "utility"
+  | Impairment -> "impairment"
+  | Queue_sample -> "queue-sample"
+  | Audit_violation -> "audit-violation"
+
+type t = {
+  on : bool;
+  cap : int;
+  e_kind : Bytes.t;
+  e_flow : int array;
+  e_seq : int array;
+  e_time : float array;
+  e_a : float array;
+  e_b : float array;
+  e_note : string array;
+  mutable pos : int; (* next write slot *)
+  mutable len : int; (* buffered events (<= cap) *)
+  mutable total : int; (* emitted since creation/clear *)
+}
+
+type event = {
+  time : float;
+  kind : kind;
+  flow : int;
+  seq : int;
+  a : float;
+  b : float;
+  note : string;
+}
+
+let create ?(capacity = 65_536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    on = true;
+    cap = capacity;
+    e_kind = Bytes.make capacity '\000';
+    e_flow = Array.make capacity 0;
+    e_seq = Array.make capacity 0;
+    e_time = Array.make capacity 0.0;
+    e_a = Array.make capacity 0.0;
+    e_b = Array.make capacity 0.0;
+    e_note = Array.make capacity "";
+    pos = 0;
+    len = 0;
+    total = 0;
+  }
+
+(* The inert bus every un-traced subsystem holds. Never mutated (all
+   emission sites are guarded on [enabled]), hence domain-safe. *)
+let disabled =
+  {
+    on = false;
+    cap = 0;
+    e_kind = Bytes.empty;
+    e_flow = [||];
+    e_seq = [||];
+    e_time = [||];
+    e_a = [||];
+    e_b = [||];
+    e_note = [||];
+    pos = 0;
+    len = 0;
+    total = 0;
+  }
+
+let[@inline] enabled t = t.on
+let capacity t = t.cap
+let length t = t.len
+let total_emitted t = t.total
+let dropped t = t.total - t.len
+
+let emit t ~time ~kind ~flow ~seq ~a ~b ~note =
+  if t.on then begin
+    let p = t.pos in
+    Bytes.unsafe_set t.e_kind p (Char.unsafe_chr (kind_code kind));
+    t.e_flow.(p) <- flow;
+    t.e_seq.(p) <- seq;
+    t.e_time.(p) <- time;
+    t.e_a.(p) <- a;
+    t.e_b.(p) <- b;
+    t.e_note.(p) <- note;
+    t.pos <- (if p + 1 = t.cap then 0 else p + 1);
+    if t.len < t.cap then t.len <- t.len + 1;
+    t.total <- t.total + 1
+  end
+
+let clear t =
+  if t.on then begin
+    t.pos <- 0;
+    t.len <- 0;
+    t.total <- 0;
+    (* Drop note references so the ring does not retain violation
+       messages across runs. *)
+    Array.fill t.e_note 0 t.cap ""
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of bounds";
+  let j = (t.pos - t.len + i + (2 * t.cap)) mod t.cap in
+  {
+    time = t.e_time.(j);
+    kind = kind_of_code (Char.code (Bytes.get t.e_kind j));
+    flow = t.e_flow.(j);
+    seq = t.e_seq.(j);
+    a = t.e_a.(j);
+    b = t.e_b.(j);
+    note = t.e_note.(j);
+  }
+
+let iter t ~f =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let to_list t =
+  List.rev (Seq.fold_left (fun acc i -> get t i :: acc) []
+              (Seq.init t.len Fun.id))

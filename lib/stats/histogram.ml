@@ -21,6 +21,10 @@ let add t x =
   t.total <- t.total + 1
 
 let count t = t.total
+let lo t = t.lo
+let hi t = t.hi
+let bins t = Array.length t.counts
+let counts t = Array.copy t.counts
 
 let pdf t =
   let bins = Array.length t.counts in

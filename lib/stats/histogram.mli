@@ -10,6 +10,13 @@ val create : lo:float -> hi:float -> bins:int -> t
 val add : t -> float -> unit
 val count : t -> int
 
+val lo : t -> float
+val hi : t -> float
+val bins : t -> int
+
+val counts : t -> int array
+(** Per-bin sample counts (a copy), for export/serialisation. *)
+
 val pdf : t -> (float * float) array
 (** [(bin_center, probability)] for each bin; probabilities sum to 1
     (empty histogram yields all-zero probabilities). *)

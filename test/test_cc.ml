@@ -5,7 +5,7 @@
 open Proteus_net
 module Cc = Proteus_cc
 
-let env () = { Sender.rng = Proteus_stats.Rng.create ~seed:1; mtu = 1500 }
+let env () = Sender.make_env ~rng:(Proteus_stats.Rng.create ~seed:1) ~mtu:1500 ()
 
 let check_float ?(eps = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > eps then

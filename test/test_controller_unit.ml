@@ -15,7 +15,7 @@ let check_float ?(eps = 1e-9) msg expected actual =
    (now, current controller rate in Mbps) to the RTT the channel
    reports; every packet is acked after that RTT (no loss). *)
 let drive ?(seconds = 30.0) ~rtt_of config =
-  let env = { Net.Sender.rng = Proteus_stats.Rng.create ~seed:5; mtu = 1500 } in
+  let env = Net.Sender.make_env ~rng:(Proteus_stats.Rng.create ~seed:5) ~mtu:1500 () in
   let c = Controller.create config env in
   let sim = Sim.create () in
   let seq = ref 0 in
@@ -82,7 +82,7 @@ let test_pacing_follows_rate () =
       min_rate_mbps = 12.0;
       max_rate_mbps = 12.0 }
   in
-  let env = { Net.Sender.rng = Proteus_stats.Rng.create ~seed:5; mtu = 1500 } in
+  let env = Net.Sender.make_env ~rng:(Proteus_stats.Rng.create ~seed:5) ~mtu:1500 () in
   let c = Controller.create cfg env in
   let sim = Sim.create () in
   let sent = ref 0 in

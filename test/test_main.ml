@@ -6,6 +6,7 @@ let () =
     [
       ("stats", Test_stats.suite);
       ("eventsim", Test_eventsim.suite);
+      ("obs", Test_obs.suite);
       ("net", Test_net.suite);
       ("faults", Test_faults.suite);
       ("cc", Test_cc.suite);

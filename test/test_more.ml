@@ -14,7 +14,7 @@ let check_float ?(eps = 1e-9) msg expected actual =
 (* ---------- Sender packing ---------- *)
 
 let test_pack_delegates () =
-  let env = { Net.Sender.rng = Rng.create ~seed:1; mtu = 1500 } in
+  let env = Net.Sender.make_env ~rng:(Rng.create ~seed:1) ~mtu:1500 () in
   let packed = Proteus_cc.Cubic.factory () env in
   Alcotest.(check string) "name" "cubic" (Net.Sender.name packed);
   (match Net.Sender.next_send packed ~now:0.0 with
@@ -34,7 +34,7 @@ let test_pack_delegates () =
   | _ -> Alcotest.fail "ack should reopen the window"
 
 let test_proteus_sender_names () =
-  let env () = { Net.Sender.rng = Rng.create ~seed:1; mtu = 1500 } in
+  let env () = Net.Sender.make_env ~rng:(Rng.create ~seed:1) ~mtu:1500 () in
   let name f = Net.Sender.name (f (env ())) in
   Alcotest.(check string) "s" "proteus:proteus-s"
     (name (Proteus.Presets.proteus_s ()));

@@ -236,7 +236,7 @@ let prop_playback_time_conserved =
 (* ---------- Controller pacing & trace ---------- *)
 
 let test_controller_pacing_gap () =
-  let env = { Net.Sender.rng = Rng.create ~seed:2; mtu = 1500 } in
+  let env = Net.Sender.make_env ~rng:(Rng.create ~seed:2) ~mtu:1500 () in
   let c =
     Proteus.Controller.create
       (Proteus.Controller.default_config ~utility:(Proteus.Utility.proteus_p ()))

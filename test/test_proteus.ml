@@ -369,7 +369,7 @@ let test_dynamic_utility_switch () =
 let test_with_handle_single_use () =
   let cfg = Controller.default_config ~utility:(Utility.proteus_p ()) in
   let factory, _ = Presets.with_handle cfg in
-  let env = { Net.Sender.rng = Proteus_stats.Rng.create ~seed:1; mtu = 1500 } in
+  let env = Net.Sender.make_env ~rng:(Proteus_stats.Rng.create ~seed:1) ~mtu:1500 () in
   ignore (factory env);
   Alcotest.check_raises "second use rejected"
     (Invalid_argument "Presets.with_handle: factory used for multiple flows")
@@ -377,7 +377,7 @@ let test_with_handle_single_use () =
 
 let test_controller_rate_starts_at_initial () =
   let cfg = Controller.default_config ~utility:(Utility.proteus_p ()) in
-  let env = { Net.Sender.rng = Proteus_stats.Rng.create ~seed:1; mtu = 1500 } in
+  let env = Net.Sender.make_env ~rng:(Proteus_stats.Rng.create ~seed:1) ~mtu:1500 () in
   let c = Controller.create cfg env in
   check_float ~eps:1e-6 "initial rate" 2.0 (Controller.rate_mbps c);
   Alcotest.(check int) "no MIs yet" 0 (Controller.mi_count c)
