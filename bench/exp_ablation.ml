@@ -58,7 +58,9 @@ let convergence_time factory =
   find 0
 
 let run () =
-  Exp_common.header "Ablation — noise tolerance mechanisms (§5)";
+  Exp_common.run_experiment ~id:"ablation"
+    ~title:"Ablation — noise tolerance mechanisms (§5)"
+  @@ fun () ->
   Printf.printf "%-22s %12s %12s %24s\n" "variant" "WiFi Mbps" "LTE Mbps"
     "yield vs BBR (ratio/scav)";
   List.iter
@@ -129,4 +131,4 @@ let run () =
     "\nShape check: the proportional strawman still takes a large share\n\
      from the latency-sensitive primary (low ratio) — exactly the §2.2\n\
      argument for using a *different* metric (RTT deviation) instead.\n";
-  Exp_common.emit_manifest "ablation"
+  []

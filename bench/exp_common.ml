@@ -232,3 +232,14 @@ let print_cdf label values =
   let pct p = D.percentile values ~p in
   Printf.printf "%-24s p10=%7.3f p25=%7.3f p50=%7.3f p75=%7.3f p90=%7.3f\n"
     label (pct 10.0) (pct 25.0) (pct 50.0) (pct 75.0) (pct 90.0)
+
+(* ---------- standard experiment shell ---------- *)
+
+(* Banner, body, manifest — the frame every [Exp_*.run] shares. The
+   body returns the manifest's extra params so values computed during
+   the run (scenario counts, effective durations) can be recorded
+   without precomputing them; most experiments return []. *)
+let run_experiment ?seed ~id ~title body =
+  header title;
+  let params = body () in
+  emit_manifest ?seed ~params id

@@ -283,8 +283,9 @@ let emit_json rows =
   close_out oc
 
 let run () =
-  Exp_common.header
-    "Fault injection: outages, bandwidth steps, bursty loss (auditor on)";
+  Exp_common.run_experiment ~seed:20_260_806 ~id:"faults"
+    ~title:"Fault injection: outages, bandwidth steps, bursty loss (auditor on)"
+  @@ fun () ->
   let rows = sweep () in
   let current = ref "" in
   List.iter
@@ -304,19 +305,16 @@ let run () =
     rows;
   emit_json rows;
   Printf.printf "\n(wrote BENCH_faults.json)\n";
-  Exp_common.emit_manifest ~seed:20_260_806
-    ~params:
-      [
-        ("bandwidth_mbps", Printf.sprintf "%g" base_bw);
-        ("rtt_ms", "30");
-        ("buffer_bytes", "150000");
-        ("duration_s", Printf.sprintf "%g" (duration ()));
-        ("fault_start_s", Printf.sprintf "%g" (fault_start ()));
-        ("scenarios", string_of_int (List.length (scenarios ())));
-        ("protocols", string_of_int (List.length protos));
-        ("trials", string_of_int (Exp_common.trials ()));
-      ]
-    "faults"
+  [
+    ("bandwidth_mbps", Printf.sprintf "%g" base_bw);
+    ("rtt_ms", "30");
+    ("buffer_bytes", "150000");
+    ("duration_s", Printf.sprintf "%g" (duration ()));
+    ("fault_start_s", Printf.sprintf "%g" (fault_start ()));
+    ("scenarios", string_of_int (List.length (scenarios ())));
+    ("protocols", string_of_int (List.length protos));
+    ("trials", string_of_int (Exp_common.trials ()));
+  ]
 
 (* ---------- smoke (wired into `dune runtest` via @faults-smoke) ---------- *)
 

@@ -71,9 +71,11 @@ let web ~background =
   Web.Load_test.load_times !results
 
 let run () =
-  Exp_common.header
-    "Fig. 11 — application benchmarks with a background scavenger\n\
-     (100 Mbps access link, 30 ms RTT)";
+  Exp_common.run_experiment ~id:"fig11"
+    ~title:
+      "Fig. 11 — application benchmarks with a background scavenger\n\
+       (100 Mbps access link, 30 ms RTT)"
+  @@ fun () ->
   Exp_common.subheader "(a) DASH mean chunk bitrate (Mbps) vs #videos";
   let counts = [ 1; 2; 4; 8 ] in
   Printf.printf "%-18s" "background";
@@ -103,4 +105,4 @@ let run () =
     "\nShape check: Proteus-S in the background is nearly invisible to\n\
      both applications; LEDBAT noticeably degrades them (2.5x lower DASH\n\
      bitrate at 8 videos in the paper); CUBIC is worst.\n";
-  Exp_common.emit_manifest "fig11"
+  []

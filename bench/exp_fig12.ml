@@ -88,9 +88,11 @@ let table ~force_highest ~bandwidths =
     bandwidths
 
 let run () =
-  Exp_common.header
-    "Fig. 12 — hybrid mode (Proteus-H vs Proteus-P) in adaptive streaming\n\
-     (1x4K + 3x1080p BOLA streams, 30 ms RTT, 900 KB buffer)";
+  Exp_common.run_experiment ~id:"fig12"
+    ~title:
+      "Fig. 12 — hybrid mode (Proteus-H vs Proteus-P) in adaptive streaming\n\
+       (1x4K + 3x1080p BOLA streams, 30 ms RTT, 900 KB buffer)"
+  @@ fun () ->
   table ~force_highest:false
     ~bandwidths:(Exp_common.pick ~fast:[ 80.0; 110.0 ]
                    ~default:[ 70.0; 80.0; 90.0; 100.0; 110.0; 120.0 ]
@@ -107,4 +109,4 @@ let run () =
   Printf.printf
     "\nShape check: Proteus-H's rebuffer ratio is consistently below\n\
      Proteus-P's (34%% lower at 110 Mbps in the paper).\n";
-  Exp_common.emit_manifest "fig12"
+  []

@@ -36,9 +36,11 @@ let trace ~label ~(primary : Exp_common.proto) =
     primary.Exp_common.name tp ts
 
 let run () =
-  Exp_common.header
-    "Fig. 14 — BBR-S (RTT-deviation-yielding BBR) throughput traces\n\
-     (50 Mbps, 30 ms RTT, 375 KB buffer; scavenger joins at t=10 s)";
+  Exp_common.run_experiment ~id:"fig14"
+    ~title:
+      "Fig. 14 — BBR-S (RTT-deviation-yielding BBR) throughput traces\n\
+       (50 Mbps, 30 ms RTT, 375 KB buffer; scavenger joins at t=10 s)"
+  @@ fun () ->
   trace ~label:"BBR vs BBR-S" ~primary:Exp_common.bbr;
   trace ~label:"BBR-S vs BBR-S" ~primary:Exp_common.bbr_s;
   trace ~label:"CUBIC vs BBR-S" ~primary:Exp_common.cubic;
@@ -46,4 +48,4 @@ let run () =
     "\nShape check: BBR-S yields against BBR and CUBIC while sharing\n\
      roughly fairly with another BBR-S. (Threshold recalibrated to the\n\
      simulator's noise floor — see DESIGN.md.)\n";
-  Exp_common.emit_manifest "fig14"
+  []

@@ -67,9 +67,11 @@ let print_pdf label values ~lo ~hi ~bins ~unit_scale =
   print_newline ()
 
 let run () =
-  Exp_common.header
-    "Fig. 2 — RTT deviation vs gradient under Poisson CUBIC arrivals\n\
-     (100 Mbps, 60 ms RTT, 2xBDP buffer; 20 Mbps probe; 1.5-RTT windows)";
+  Exp_common.run_experiment ~id:"fig2"
+    ~title:
+      "Fig. 2 — RTT deviation vs gradient under Poisson CUBIC arrivals\n\
+       (100 Mbps, 60 ms RTT, 2xBDP buffer; 20 Mbps probe; 1.5-RTT windows)"
+  @@ fun () ->
   let rates = [ 0.0; 3.0; 6.0; 9.0 ] in
   let results = List.map (fun rate -> (rate, run_rate ~rate_per_sec:rate)) rates in
   Exp_common.subheader "(a) PDF of RTT deviation (ms)";
@@ -98,4 +100,4 @@ let run () =
      better (lower confusion) than the gradient. Absolute levels are\n\
      higher than the paper's because our simulated short flows finish\n\
      faster (no handshake), leaving more genuinely idle windows.\n";
-  Exp_common.emit_manifest "fig2"
+  []

@@ -36,7 +36,10 @@ let run ?(appendix = false) () =
       "Fig. 15 (Appendix B) — saturation vs buffer size, incl. LEDBAT-25"
     else "Fig. 3 — bottleneck saturation with varying buffer size"
   in
-  Exp_common.header (title ^ "\n(50 Mbps, 30 ms RTT; single flow)");
+  Exp_common.run_experiment
+    ~id:(if appendix then "figB-buffers" else "fig3")
+    ~title:(title ^ "\n(50 Mbps, 30 ms RTT; single flow)")
+  @@ fun () ->
   let lineup = if appendix then Exp_common.lineup_b else Exp_common.lineup in
   let buffers = buffers_kb () in
   let results =
@@ -69,4 +72,4 @@ let run ?(appendix = false) () =
     "\nShape check: Proteus/BBR/Vivace saturate with a few-KB buffer;\n\
      CUBIC and COPA need several-fold more; LEDBAT needs ~BDP (150 KB)\n\
      and keeps inflation ~1.0 until the buffer exceeds its delay target.\n";
-  Exp_common.emit_manifest (if appendix then "figB-buffers" else "fig3")
+  []

@@ -16,7 +16,10 @@ let run ?(appendix = false) () =
     if appendix then "Fig. 16 (Appendix B) — loss tolerance incl. LEDBAT-25"
     else "Fig. 4 — random loss tolerance"
   in
-  Exp_common.header (title ^ "\n(50 Mbps, 30 ms RTT, 375 KB buffer)");
+  Exp_common.run_experiment
+    ~id:(if appendix then "figB-loss" else "fig4")
+    ~title:(title ^ "\n(50 Mbps, 30 ms RTT, 375 KB buffer)")
+  @@ fun () ->
   let lineup = if appendix then Exp_common.lineup_b else Exp_common.lineup in
   let rates = loss_rates () in
   Printf.printf "%-12s" "protocol";
@@ -51,4 +54,4 @@ let run ?(appendix = false) () =
   Printf.printf
     "\nShape check: LEDBAT degrades sharply from the smallest loss rates;\n\
      Proteus/Vivace hold throughput to ~5%%; BBR and COPA are insensitive.\n";
-  Exp_common.emit_manifest (if appendix then "figB-loss" else "fig4")
+  []

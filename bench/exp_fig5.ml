@@ -79,7 +79,10 @@ let run ?(appendix = false) () =
       "Fig. 17+18 (Appendix B) — multi-flow fairness incl. LEDBAT-25"
     else "Fig. 5 — Jain's fairness index, n same-protocol flows"
   in
-  Exp_common.header (title ^ "\n(20n Mbps, 30 ms RTT, 300n KB buffer, staggered starts)");
+  Exp_common.run_experiment
+    ~id:(if appendix then "figB-fairness" else "fig5")
+    ~title:(title ^ "\n(20n Mbps, 30 ms RTT, 300n KB buffer, staggered starts)")
+  @@ fun () ->
   let lineup = if appendix then Exp_common.lineup_b else Exp_common.lineup in
   let counts = flow_counts () in
   Printf.printf "%-12s" "protocol";
@@ -102,4 +105,4 @@ let run ?(appendix = false) () =
      LEDBAT at every n; LEDBAT declines with n (latecomer unfairness)\n\
      and LEDBAT-25 is worse than LEDBAT-100.\n";
   if appendix then traces ();
-  Exp_common.emit_manifest (if appendix then "figB-fairness" else "fig5")
+  []

@@ -113,7 +113,10 @@ let run ?(appendix = false) () =
       "Fig. 19+20 (Appendix B) — LEDBAT-25 as scavenger vs primaries"
     else "Fig. 6 — scavenger vs primary competition (50 Mbps, 30 ms)"
   in
-  Exp_common.header title;
+  Exp_common.run_experiment
+    ~id:(if appendix then "figB-yield" else "fig6")
+    ~title
+  @@ fun () ->
   let results =
     Exp_common.par_map
       (fun scav ->
@@ -171,4 +174,4 @@ let run ?(appendix = false) () =
     "\nShape check: Proteus-S keeps primary ratio >= ~90%% everywhere and\n\
      RTT ratio ~1; LEDBAT fair-shares with CUBIC, crushes latency-aware\n\
      primaries, and inflates their RTT (e.g. ~2x for COPA).\n";
-  Exp_common.emit_manifest (if appendix then "figB-yield" else "fig6")
+  []

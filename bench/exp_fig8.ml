@@ -42,8 +42,10 @@ let ratio ~(primary : Exp_common.proto) ~(scavenger : Exp_common.proto)
   r.Exp_common.ratio
 
 let run () =
-  Exp_common.header
-    "Fig. 8 — primary throughput ratio CDF across bottleneck configurations";
+  Exp_common.run_experiment ~id:"fig8"
+    ~title:
+      "Fig. 8 — primary throughput ratio CDF across bottleneck configurations"
+  @@ fun () ->
   let configs = grid () in
   Printf.printf "grid: %d configurations\n" (List.length configs);
   List.iter
@@ -65,4 +67,4 @@ let run () =
   Printf.printf
     "\nShape check: the Proteus-S CDF lies to the right of LEDBAT's for\n\
      every primary (paper medians: +7.8%% BBR, +28%% CUBIC, +2.8x Proteus-P).\n";
-  Exp_common.emit_manifest "fig8"
+  []

@@ -102,16 +102,20 @@ let fig10 ~scavengers =
      the LEDBAT curve; biggest gains for latency-aware primaries.\n"
 
 let run ?(appendix = false) () =
+  Exp_common.run_experiment
+    ~id:(if appendix then "figB-wifi" else "fig9")
+    ~title:
+      (if appendix then
+         "Fig. 21+22 (Appendix B) — WiFi performance incl. LEDBAT-25"
+       else "Fig. 9+10 — real-world-style WiFi evaluation (emulated)")
+  @@ fun () ->
   if appendix then begin
-    Exp_common.header
-      "Fig. 21+22 (Appendix B) — WiFi performance incl. LEDBAT-25";
     fig9 ~lineup:Exp_common.lineup_b;
     fig10 ~scavengers:[ Exp_common.proteus_s; Exp_common.ledbat_25;
                         Exp_common.ledbat_100 ]
   end
   else begin
-    Exp_common.header "Fig. 9+10 — real-world-style WiFi evaluation (emulated)";
     fig9 ~lineup:Exp_common.lineup;
     fig10 ~scavengers:[ Exp_common.proteus_s; Exp_common.ledbat_100 ]
   end;
-  Exp_common.emit_manifest (if appendix then "figB-wifi" else "fig9")
+  []

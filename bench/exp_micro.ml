@@ -150,7 +150,8 @@ let emit_json rows =
   close_out oc
 
 let run () =
-  Exp_common.header "Microbenchmarks (bechamel)";
+  Exp_common.run_experiment ~id:"micro" ~title:"Microbenchmarks (bechamel)"
+  @@ fun () ->
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -188,4 +189,4 @@ let run () =
     rows;
   emit_json rows;
   Printf.printf "\n(wrote BENCH_micro.json)\n";
-  Exp_common.emit_manifest "micro"
+  []

@@ -42,8 +42,9 @@ let measure ~n_p ~n_s =
   (mean ps, mean ss)
 
 let run () =
-  Exp_common.header
-    "Theory vs measurement — Appendix A equilibria (50 Mbps, 30 ms)";
+  Exp_common.run_experiment ~id:"theory"
+    ~title:"Theory vs measurement — Appendix A equilibria (50 Mbps, 30 ms)"
+  @@ fun () ->
   let params = Equilibrium.default_params ~capacity_mbps:capacity in
   Printf.printf "%-10s | %21s | %21s\n" "n_P/n_S" "theory P / S (Mbps)"
     "measured P / S (Mbps)";
@@ -60,4 +61,4 @@ let run () =
      P and S at an equal split, while the measured scavenger yields —\n\
      Proteus-S's deprioritization is a dynamic effect of the deviation\n\
      signal, not a static property of the utility equilibrium.\n";
-  Exp_common.emit_manifest "theory"
+  []

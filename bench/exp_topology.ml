@@ -1,0 +1,361 @@
+(* Multi-hop topology sweep: the scenarios a single dumbbell cannot
+   express.
+
+   - "parking-lot": a 3-hop chain with one cross-traffic CUBIC flow per
+     hop and the protocol under test running end-to-end across all
+     three. Classic multi-bottleneck setup: the e2e flow pays every
+     queue while each cross flow pays only its own.
+   - "rev-path": the protocol under test probes a one-hop path while a
+     CUBIC bulk flow congests the *reverse* link, queueing the probe's
+     ACKs behind its data packets.
+
+   Each (scenario x protocol) cell reports the e2e flow's throughput /
+   mean RTT / loss and a *scavenger-harm* metric: the mean fractional
+   throughput reduction the e2e flow inflicts on the cross traffic,
+   relative to a baseline trial without it (0 = invisible, 1 = starved).
+   Scavengers should sit near 0; loss-based primaries should not.
+   Results go to `BENCH_topology.json`.
+
+   Determinism: as in exp_faults, every task's runner seed is derived
+   with [Rng.split_at] from a fixed root so it depends only on the task
+   key, making a `--jobs N` sweep bit-identical to the sequential one. *)
+
+module Net = Proteus_net
+module Link = Net.Link
+module Rng = Proteus_stats.Rng
+module D = Proteus_stats.Descriptive
+
+(* ---------- timing ---------- *)
+
+let duration () = Exp_common.pick ~fast:15.0 ~default:30.0 ~full:60.0
+
+(* ---------- scenarios ---------- *)
+
+let parking_hops = 3
+let hop_bw = 40.0
+let hop_cfg () =
+  Link.config ~bandwidth_mbps:hop_bw ~rtt_ms:20.0 ~buffer_bytes:150_000 ()
+
+let rev_bw = 30.0
+let rev_cfg () =
+  Link.config ~bandwidth_mbps:rev_bw ~rtt_ms:30.0 ~buffer_bytes:150_000 ()
+
+type flow_summary = { tput : float; mean_rtt_ms : float; loss_frac : float }
+
+let summarize st ~t0 ~t1 =
+  let rtts = Net.Flow_stats.rtt_samples st ~t0 ~t1 in
+  {
+    tput = Net.Flow_stats.throughput_mbps st ~t0 ~t1;
+    mean_rtt_ms =
+      (if Array.length rtts = 0 then 0.0 else 1000.0 *. D.mean rtts);
+    loss_frac = Net.Flow_stats.loss_fraction st;
+  }
+
+(* One trial: the e2e slot is empty for the harm baseline.
+   [cross_tputs] are the competing flows' steady-state rates. *)
+type trial_result = { e2e : flow_summary option; cross_tputs : float array }
+
+let run_parking ~seed ~e2e =
+  let dur = duration () in
+  let t0 = dur /. 3.0 in
+  let topo = Net.Topology.chain (List.init parking_hops (fun _ -> hop_cfg ())) in
+  let r = Net.Runner.create_topo ~seed topo in
+  let _audit = Net.Runner.attach_audit r in
+  let e2e_flow =
+    Option.map
+      (fun (p : Exp_common.proto) ->
+        Net.Runner.add_flow r
+          ~route:(Net.Topology.chain_route topo)
+          ~label:"e2e" ~factory:(p.Exp_common.make ()))
+      e2e
+  in
+  let crosses =
+    List.init parking_hops (fun hop ->
+        Net.Runner.add_flow r
+          ~route:(Net.Topology.hop_route topo ~hop)
+          ~label:(Printf.sprintf "cross%d" hop)
+          ~factory:(Exp_common.cubic.Exp_common.make ()))
+  in
+  Net.Runner.run r ~until:dur;
+  {
+    e2e =
+      Option.map
+        (fun f -> summarize (Net.Runner.stats f) ~t0 ~t1:dur)
+        e2e_flow;
+    cross_tputs =
+      Array.of_list
+        (List.map
+           (fun f ->
+             Net.Flow_stats.throughput_mbps (Net.Runner.stats f) ~t0 ~t1:dur)
+           crosses);
+  }
+
+let run_revpath ~seed ~e2e =
+  let dur = duration () in
+  let t0 = dur /. 3.0 in
+  let topo = Net.Topology.chain [ rev_cfg () ] in
+  let r = Net.Runner.create_topo ~seed topo in
+  let _audit = Net.Runner.attach_audit r in
+  let probe =
+    Option.map
+      (fun (p : Exp_common.proto) ->
+        Net.Runner.add_flow r
+          ~route:(Net.Topology.chain_route topo)
+          ~label:"probe" ~factory:(p.Exp_common.make ()))
+      e2e
+  in
+  (* The congestor's data path is the probe's ACK path (link 1) and
+     vice versa, so its queue delays the probe's feedback only. *)
+  let congestor =
+    Net.Runner.add_flow r
+      ~route:(Net.Topology.route topo ~fwd:[ 1 ] ~rev:[ 0 ])
+      ~label:"rev-congestor"
+      ~factory:(Exp_common.cubic.Exp_common.make ())
+  in
+  Net.Runner.run r ~until:dur;
+  {
+    e2e =
+      Option.map (fun f -> summarize (Net.Runner.stats f) ~t0 ~t1:dur) probe;
+    cross_tputs =
+      [|
+        Net.Flow_stats.throughput_mbps (Net.Runner.stats congestor) ~t0
+          ~t1:dur;
+      |];
+  }
+
+type scenario = {
+  sid : string;
+  run_trial : seed:int -> e2e:Exp_common.proto option -> trial_result;
+}
+
+let scenarios =
+  [
+    { sid = "parking-lot"; run_trial = run_parking };
+    { sid = "rev-path"; run_trial = run_revpath };
+  ]
+
+let protos =
+  Exp_common.[ proteus_p; proteus_s; cubic; bbr; copa; ledbat_100 ]
+
+(* ---------- sweep ---------- *)
+
+type row = {
+  scenario : string;
+  cc : string;
+  mean : flow_summary;
+  harm : float;
+  trials : int;
+}
+
+(* Baseline (no-e2e) tasks live in the reserved protocol slot 63 of the
+   key space so adding a protocol never reshuffles anyone's seed. *)
+let seed_for root ~si ~pi ~tr =
+  let key = (((si * 64) + pi) * 64) + tr in
+  1 + Rng.int (Rng.split_at root ~key) 1_000_000
+
+let sweep () =
+  let root = Rng.create ~seed:20_260_807 in
+  let trials = Exp_common.trials () in
+  let base_tasks =
+    List.concat
+      (List.mapi
+         (fun si sc -> List.init trials (fun tr -> (si, sc, tr)))
+         scenarios)
+  in
+  let cc_tasks =
+    List.concat
+      (List.mapi
+         (fun si sc ->
+           List.concat
+             (List.mapi
+                (fun pi p -> List.init trials (fun tr -> (si, sc, pi, p, tr)))
+                protos))
+         scenarios)
+  in
+  let baselines =
+    Exp_common.par_map
+      (fun (si, sc, tr) ->
+        let seed = seed_for root ~si ~pi:63 ~tr in
+        ((si, tr), (sc.run_trial ~seed ~e2e:None).cross_tputs))
+      base_tasks
+  in
+  let results =
+    Exp_common.par_map
+      (fun (si, sc, pi, (p : Exp_common.proto), tr) ->
+        let seed = seed_for root ~si ~pi ~tr in
+        (si, pi, tr, sc.run_trial ~seed ~e2e:(Some p)))
+      cc_tasks
+  in
+  List.concat
+    (List.mapi
+       (fun si sc ->
+         List.mapi
+           (fun pi (p : Exp_common.proto) ->
+             let mine =
+               List.filter_map
+                 (fun (si', pi', tr, r) ->
+                   if si' = si && pi' = pi then Some (tr, r) else None)
+                 results
+             in
+             let harm_of (tr, (r : trial_result)) =
+               let base = List.assoc (si, tr) baselines in
+               let ratios =
+                 Array.mapi
+                   (fun i b ->
+                     if b > 0.0 then r.cross_tputs.(i) /. b else 1.0)
+                   base
+               in
+               Float.max 0.0 (1.0 -. D.mean ratios)
+             in
+             let avg f = D.mean (Array.of_list (List.map f mine)) in
+             let e2e f = avg (fun (_, r) -> f (Option.get r.e2e)) in
+             {
+               scenario = sc.sid;
+               cc = p.Exp_common.name;
+               mean =
+                 {
+                   tput = e2e (fun s -> s.tput);
+                   mean_rtt_ms = e2e (fun s -> s.mean_rtt_ms);
+                   loss_frac = e2e (fun s -> s.loss_frac);
+                 };
+               harm = avg harm_of;
+               trials = List.length mine;
+             })
+           protos)
+       scenarios)
+
+(* ---------- output ---------- *)
+
+let json_num v =
+  if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
+
+let emit_json rows =
+  let oc = open_out "BENCH_topology.json" in
+  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-topology/1\",\n";
+  Printf.fprintf oc
+    "  \"config\": {\"parking_hops\": %d, \"hop_bandwidth_mbps\": %g, \
+     \"rev_bandwidth_mbps\": %g, \"duration_s\": %g},\n"
+    parking_hops hop_bw rev_bw (duration ());
+  output_string oc "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"scenario\": \"%s\", \"cc\": \"%s\", \"tput_mbps\": %s, \
+         \"mean_rtt_ms\": %s, \"loss_frac\": %s, \"scavenger_harm\": %s, \
+         \"trials\": %d}%s\n"
+        r.scenario r.cc (json_num r.mean.tput)
+        (json_num r.mean.mean_rtt_ms)
+        (json_num r.mean.loss_frac) (json_num r.harm) r.trials
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
+let run () =
+  Exp_common.run_experiment ~seed:20_260_807 ~id:"topology"
+    ~title:
+      "Multi-hop topologies: parking lot and reverse-path congestion\n\
+       (3-hop chain w/ per-hop CUBIC cross traffic; 1-hop reverse-path \
+       squeeze)"
+  @@ fun () ->
+  let rows = sweep () in
+  let current = ref "" in
+  List.iter
+    (fun r ->
+      if r.scenario <> !current then begin
+        current := r.scenario;
+        Exp_common.subheader r.scenario;
+        Printf.printf "%-12s %10s %10s %8s %8s\n" "cc" "tput Mb/s" "RTT ms"
+          "loss" "harm"
+      end;
+      Printf.printf "%-12s %10.2f %10.2f %8.4f %7.1f%%\n" r.cc r.mean.tput
+        r.mean.mean_rtt_ms r.mean.loss_frac (100.0 *. r.harm))
+    rows;
+  emit_json rows;
+  Printf.printf "\n(wrote BENCH_topology.json)\n";
+  Printf.printf
+    "\nShape check: on the parking lot the scavengers (proteus-s,\n\
+     ledbat) leave the per-hop CUBIC crosses nearly untouched (harm ~0)\n\
+     while the loss-based e2e flows take a real bite out of every hop;\n\
+     reverse-path congestion inflates every protocol's RTT (ACKs queue\n\
+     behind the congestor) without adding forward loss.\n";
+  [
+    ("scenarios", string_of_int (List.length scenarios));
+    ("protocols", string_of_int (List.length protos));
+    ("trials", string_of_int (Exp_common.trials ()));
+    ("duration_s", Printf.sprintf "%g" (duration ()));
+    ("parking_hops", string_of_int parking_hops);
+  ]
+
+(* ---------- smoke (wired into `dune runtest` via @topology-smoke) ---------- *)
+
+(* A short parking-lot run per protocol with the auditor attached: the
+   e2e flow and the per-hop crosses stop at t=4 and the final second
+   drains every in-flight packet, so full per-hop conservation can be
+   asserted. Also checks per-hop loss attribution sums to each flow's
+   total. A reverse-path leg exercises reverse routes under audit. *)
+let smoke () =
+  Exp_common.header "Topology smoke: 3-hop parking lot + rev-path, auditor on";
+  List.iter
+    (fun (p : Exp_common.proto) ->
+      let topo =
+        Net.Topology.chain (List.init parking_hops (fun _ -> hop_cfg ()))
+      in
+      let r = Net.Runner.create_topo ~seed:11 topo in
+      let audit = Net.Runner.attach_audit r in
+      let e2e =
+        Net.Runner.add_flow r
+          ~route:(Net.Topology.chain_route topo)
+          ~stop:4.0 ~label:p.Exp_common.name
+          ~factory:(p.Exp_common.make ())
+      in
+      let crosses =
+        List.init parking_hops (fun hop ->
+            Net.Runner.add_flow r
+              ~route:(Net.Topology.hop_route topo ~hop)
+              ~stop:4.0
+              ~label:(Printf.sprintf "cross%d" hop)
+              ~factory:(Exp_common.cubic.Exp_common.make ()))
+      in
+      Net.Runner.run r ~until:5.0;
+      Net.Audit.assert_quiesced audit;
+      List.iter
+        (fun f ->
+          let st = Net.Runner.stats f in
+          let by_hop = Array.fold_left ( + ) 0 (Net.Flow_stats.losses_by_hop st) in
+          if by_hop <> Net.Flow_stats.packets_lost st then
+            failwith
+              (Printf.sprintf "%s: per-hop losses %d <> total %d"
+                 (Net.Runner.label f) by_hop
+                 (Net.Flow_stats.packets_lost st)))
+        (e2e :: crosses);
+      let st = Net.Runner.stats e2e in
+      Printf.printf
+        "%-12s ok  (%d hop events audited, %d sent / %d acked / %d lost)\n"
+        p.Exp_common.name
+        (Net.Audit.hop_events_checked audit)
+        (Net.Flow_stats.packets_sent st)
+        (Net.Flow_stats.packets_acked st)
+        (Net.Flow_stats.packets_lost st))
+    protos;
+  let topo = Net.Topology.chain [ rev_cfg () ] in
+  let r = Net.Runner.create_topo ~seed:11 topo in
+  let audit = Net.Runner.attach_audit r in
+  let probe =
+    Net.Runner.add_flow r
+      ~route:(Net.Topology.chain_route topo)
+      ~stop:4.0 ~label:"probe"
+      ~factory:(Exp_common.proteus_s.Exp_common.make ())
+  in
+  let congestor =
+    Net.Runner.add_flow r
+      ~route:(Net.Topology.route topo ~fwd:[ 1 ] ~rev:[ 0 ])
+      ~stop:4.0 ~label:"rev-congestor"
+      ~factory:(Exp_common.cubic.Exp_common.make ())
+  in
+  Net.Runner.run r ~until:5.0;
+  Net.Audit.assert_quiesced audit;
+  Printf.printf "rev-path     ok  (probe %d acked, congestor %d acked)\n"
+    (Net.Flow_stats.packets_acked (Net.Runner.stats probe))
+    (Net.Flow_stats.packets_acked (Net.Runner.stats congestor));
+  Printf.printf "topology-smoke: all %d protocols clean\n" (List.length protos)

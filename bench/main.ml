@@ -3,7 +3,7 @@
 
    Usage:  dune exec bench/main.exe -- [--fast|--full] [--jobs N] [ids...]
    ids: fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig11 fig12 fig14
-        appendix theory ablation micro all (default: all)
+        appendix theory ablation micro faults topology all (default: all)
 
    --jobs N fans independent trials/protocol runs across N domains;
    results are bit-identical to --jobs 1 (every trial owns its seeded
@@ -35,6 +35,8 @@ let experiments : (string * (unit -> unit)) list =
     ("micro", Exp_micro.run);
     ("faults", Exp_faults.run);
     ("faults-smoke", Exp_faults.smoke);
+    ("topology", Exp_topology.run);
+    ("topology-smoke", Exp_topology.smoke);
   ]
 
 let appendix_ids =
@@ -108,11 +110,14 @@ let () =
     List.concat_map
       (fun id ->
         match id with
-        (* "all" skips the smoke entry: it is a subset of "faults" and
-           exists for the @faults-smoke alias. *)
+        (* "all" skips the smoke entries: they are subsets of the full
+           sweeps and exist for the @faults-smoke / @topology-smoke
+           aliases. *)
         | "all" ->
             List.filter_map
-              (fun (id, _) -> if id = "faults-smoke" then None else Some id)
+              (fun (id, _) ->
+                if id = "faults-smoke" || id = "topology-smoke" then None
+                else Some id)
               experiments
         | "appendix" -> appendix_ids
         | _ -> [ id ])

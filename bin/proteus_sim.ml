@@ -8,8 +8,16 @@
      proteus-sim --noise wifi --series 1 proteus-p
      proteus-sim --loss 0.02 vivace cubic:50
          50 MB finite CUBIC transfer under 2% random loss.
+     proteus-sim --topology chain3 proteus-s cubic%0 cubic%1 cubic%2
+         parking lot: a Proteus-S scavenger end-to-end over three hops,
+         one CUBIC cross flow per hop.
+     proteus-sim --topology chain1 cubic blaster=40%rev
+         reverse-path congestion: a 40 Mbps blaster on the ACK path.
 
-   Flow spec: PROTO[@START_SECONDS][:SIZE_MB]
+   Flow spec: PROTO[%HOP|%rev][@START_SECONDS][:SIZE_MB]
+     %HOP pins the flow to a single hop of a chain topology; %rev runs
+     it end-to-end in the reverse direction (its data shares the other
+     flows' ACK path). Default: end-to-end forward.
    Protocols: cubic bbr bbr-s copa ledbat ledbat-25 vivace
               proteus-p proteus-s blaster=RATE_MBPS *)
 
@@ -33,7 +41,14 @@ let protocol_factory name : (Net.Sender.factory, string) result =
       | None -> Error (Printf.sprintf "bad blaster rate in %S" s))
   | _ -> Error (Printf.sprintf "unknown protocol %S" name)
 
-type flow_spec = { proto : string; start : float; size_mb : float option }
+type route_spec = Forward | Hop of int | Reverse
+
+type flow_spec = {
+  proto : string;
+  start : float;
+  size_mb : float option;
+  route : route_spec;
+}
 
 let parse_flow_spec s : (flow_spec, string) result =
   let proto_part, size_mb =
@@ -46,14 +61,31 @@ let parse_flow_spec s : (flow_spec, string) result =
         | None -> (s, None))
     | None -> (s, None)
   in
-  match String.index_opt proto_part '@' with
-  | Some i -> (
-      let name = String.sub proto_part 0 i in
-      let st = String.sub proto_part (i + 1) (String.length proto_part - i - 1) in
-      match float_of_string_opt st with
-      | Some start -> Ok { proto = name; start; size_mb }
-      | None -> Error (Printf.sprintf "bad start time in %S" s))
-  | None -> Ok { proto = proto_part; start = 0.0; size_mb }
+  let name_part, start =
+    match String.index_opt proto_part '@' with
+    | Some i -> (
+        let name = String.sub proto_part 0 i in
+        let st =
+          String.sub proto_part (i + 1) (String.length proto_part - i - 1)
+        in
+        match float_of_string_opt st with
+        | Some start -> (Ok name, start)
+        | None -> (Error (Printf.sprintf "bad start time in %S" s), 0.0))
+    | None -> (Ok proto_part, 0.0)
+  in
+  match name_part with
+  | Error e -> Error e
+  | Ok name -> (
+      match String.index_opt name '%' with
+      | None -> Ok { proto = name; start; size_mb; route = Forward }
+      | Some i -> (
+          let proto = String.sub name 0 i in
+          let r = String.sub name (i + 1) (String.length name - i - 1) in
+          match (r, int_of_string_opt r) with
+          | "rev", _ -> Ok { proto; start; size_mb; route = Reverse }
+          | _, Some hop when hop >= 0 ->
+              Ok { proto; start; size_mb; route = Hop hop }
+          | _ -> Error (Printf.sprintf "bad route %S in %S (want %%N or %%rev)" r s)))
 
 let parse_noise = function
   | "none" -> Ok Net.Noise.None_
@@ -64,9 +96,23 @@ let parse_noise = function
       | None -> Error "bad gaussian sigma")
   | s -> Error (Printf.sprintf "unknown noise model %S" s)
 
+(* "dumbbell" keeps the classic single-link runner (byte-identical to
+   the pre-topology CLI); "chainN" builds an N-hop chain whose per-hop
+   propagation delays split --rtt evenly, so the end-to-end base RTT is
+   unchanged. *)
+type topo_spec = Dumbbell | Chain of int
+
+let parse_topology = function
+  | "dumbbell" -> Ok Dumbbell
+  | s when String.length s > 5 && String.sub s 0 5 = "chain" -> (
+      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some n when n >= 1 -> Ok (Chain n)
+      | _ -> Error (Printf.sprintf "bad chain length in %S" s))
+  | s -> Error (Printf.sprintf "unknown topology %S (want dumbbell or chainN)" s)
+
 module Obs = Proteus_obs
 
-let run bw rtt buffer_kb loss noise duration seed series trace_file
+let run bw rtt buffer_kb loss noise duration seed series topology trace_file
     metrics_file manifest_file specs =
   match
     ( List.map parse_flow_spec specs
@@ -78,19 +124,20 @@ let run bw rtt buffer_kb loss noise duration seed series trace_file
              | Ok _, Error e -> Error e)
            (Ok [])
       |> Result.map List.rev,
-      parse_noise noise )
+      parse_noise noise,
+      parse_topology topology )
   with
-  | Error e, _ | _, Error e ->
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline ("proteus-sim: " ^ e);
       exit 2
-  | Ok flows, Ok noise_spec ->
+  | Ok flows, Ok noise_spec, Ok topo_spec ->
       if flows = [] then begin
         prerr_endline "proteus-sim: no flows given (try: proteus-sim cubic)";
         exit 2
       end;
-      let cfg =
+      let cfg ~rtt_ms =
         Net.Link.config ~loss_rate:loss ~noise:noise_spec ~bandwidth_mbps:bw
-          ~rtt_ms:rtt
+          ~rtt_ms
           ~buffer_bytes:(Net.Units.kb buffer_kb)
           ()
       in
@@ -99,7 +146,42 @@ let run bw rtt buffer_kb loss noise duration seed series trace_file
         | Some _ -> Obs.Trace.create ()
         | None -> Obs.Trace.disabled
       in
-      let runner = Net.Runner.create ~seed ~trace cfg in
+      let topo, runner =
+        match topo_spec with
+        | Dumbbell -> (None, Net.Runner.create ~seed ~trace (cfg ~rtt_ms:rtt))
+        | Chain n ->
+            let t =
+              Net.Topology.chain
+                (List.init n (fun _ -> cfg ~rtt_ms:(rtt /. float_of_int n)))
+            in
+            (Some t, Net.Runner.create_topo ~seed ~trace t)
+      in
+      let route_for spec =
+        match (topo, spec.route) with
+        | None, Forward -> None
+        | None, (Hop _ | Reverse) ->
+            prerr_endline
+              "proteus-sim: %HOP/%rev flow routes need --topology chainN";
+            exit 2
+        | Some t, Forward -> Some (Net.Topology.chain_route t)
+        | Some t, Hop h ->
+            let n = Net.Topology.chain_hops t in
+            if h >= n then begin
+              prerr_endline
+                (Printf.sprintf
+                   "proteus-sim: hop %d out of range (chain has %d hops)" h n);
+              exit 2
+            end;
+            Some (Net.Topology.hop_route t ~hop:h)
+        | Some t, Reverse ->
+            (* Data retraces the reverse links; its ACKs ride the other
+               flows' forward links. *)
+            let n = Net.Topology.chain_hops t in
+            Some
+              (Net.Topology.route t
+                 ~fwd:(List.init n (fun i -> (2 * n) - 1 - i))
+                 ~rev:(List.init n (fun i -> i)))
+      in
       let handles =
         List.mapi
           (fun i spec ->
@@ -114,13 +196,14 @@ let run bw rtt buffer_kb loss noise duration seed series trace_file
                 in
                 ( spec,
                   Net.Runner.add_flow runner ~start:spec.start ?size_bytes
-                    ~label ~factory ))
+                    ?route:(route_for spec) ~label ~factory ))
           flows
       in
       Net.Runner.run runner ~until:duration;
       Printf.printf
-        "link: %.0f Mbps, %.0f ms RTT, %.0f KB buffer, loss %.3f%%, noise %s\n\n"
-        bw rtt buffer_kb (100.0 *. loss) noise;
+        "link: %.0f Mbps, %.0f ms RTT, %.0f KB buffer, loss %.3f%%, noise %s, \
+         topology %s\n\n"
+        bw rtt buffer_kb (100.0 *. loss) noise topology;
       Printf.printf "%-16s %10s %10s %9s %9s %10s\n" "flow" "tput Mbps"
         "p95 ms" "loss %" "pkts" "done";
       List.iter
@@ -189,6 +272,7 @@ let run bw rtt buffer_kb loss noise duration seed series trace_file
                 ("buffer_kb", Printf.sprintf "%g" buffer_kb);
                 ("loss", Printf.sprintf "%g" loss);
                 ("noise", noise);
+                ("topology", topology);
                 ("duration_s", Printf.sprintf "%g" duration);
               ]
             ?registry ();
@@ -224,6 +308,15 @@ let series =
     value & opt (some float) None
     & info [ "series" ] ~docv:"BIN_S" ~doc:"Also print a binned throughput series.")
 
+let topology =
+  Arg.(
+    value & opt string "dumbbell"
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:"Network topology: dumbbell (single shared link) or chainN \
+              (N-hop chain; flows default to the end-to-end route, \
+              $(b,PROTO%HOP) pins one to a single hop and $(b,PROTO%rev) \
+              runs it in the reverse direction).")
+
 let trace_file =
   Arg.(
     value & opt (some string) None
@@ -253,6 +346,6 @@ let cmd =
     (Cmd.info "proteus-sim" ~doc)
     Term.(
       const run $ bw $ rtt $ buffer_kb $ loss $ noise $ duration $ seed
-      $ series $ trace_file $ metrics_file $ manifest_file $ specs)
+      $ series $ topology $ trace_file $ metrics_file $ manifest_file $ specs)
 
 let () = exit (Cmd.eval cmd)

@@ -40,6 +40,14 @@ type t = {
   mutable checked : int;
   mutable last_global_time : float;
   obs : Trace.t;
+  (* Per-link hop occupancy counters (multi-hop topologies), indexed by
+     link id and grown on demand. Hop events are cross-checks layered
+     under the flow-level conservation law; they deliberately do not
+     touch [checked] or the event ring. *)
+  mutable hop_entered : int array;
+  mutable hop_exited : int array;
+  mutable hop_dropped : int array;
+  mutable hop_checked : int;
 }
 
 let create ?(trace = 64) ?(obs = Trace.disabled) () =
@@ -56,6 +64,10 @@ let create ?(trace = 64) ?(obs = Trace.disabled) () =
     ring_len = 0;
     checked = 0;
     last_global_time = neg_infinity;
+    hop_entered = [||];
+    hop_exited = [||];
+    hop_dropped = [||];
+    hop_checked = 0;
   }
 
 let register_flow t ~label =
@@ -208,6 +220,54 @@ let on_loss t ~flow ~seq ~size ~now =
   fs.lost <- fs.lost + 1;
   check_accounting t fs
 
+(* ---------- per-hop occupancy (multi-hop topologies) ---------- *)
+
+let ensure_link t link =
+  if link < 0 then fail t "hop event for negative link id %d" link;
+  if link >= Array.length t.hop_entered then begin
+    let cap = max (link + 1) (max 4 (2 * Array.length t.hop_entered)) in
+    let grow a =
+      let n = Array.make cap 0 in
+      Array.blit a 0 n 0 (Array.length a);
+      n
+    in
+    t.hop_entered <- grow t.hop_entered;
+    t.hop_exited <- grow t.hop_exited;
+    t.hop_dropped <- grow t.hop_dropped
+  end
+
+let hop_clock t ~now =
+  t.hop_checked <- t.hop_checked + 1;
+  if now < t.last_global_time -. 1e-9 then
+    fail t "clock went backwards: hop event at %.9f after %.9f" now
+      t.last_global_time;
+  t.last_global_time <- Float.max t.last_global_time now
+
+let on_hop_enter t ~link ~now =
+  ensure_link t link;
+  hop_clock t ~now;
+  t.hop_entered.(link) <- t.hop_entered.(link) + 1
+
+let on_hop_exit t ~link ~now =
+  ensure_link t link;
+  hop_clock t ~now;
+  t.hop_exited.(link) <- t.hop_exited.(link) + 1;
+  if t.hop_exited.(link) > t.hop_entered.(link) then
+    fail t "link %d: %d hop exits but only %d entries (phantom packet)" link
+      t.hop_exited.(link)
+      t.hop_entered.(link)
+
+let on_hop_drop t ~link ~now =
+  ensure_link t link;
+  hop_clock t ~now;
+  t.hop_dropped.(link) <- t.hop_dropped.(link) + 1
+
+let hop_counters t ~link =
+  if link < 0 || link >= Array.length t.hop_entered then (0, 0, 0)
+  else (t.hop_entered.(link), t.hop_exited.(link), t.hop_dropped.(link))
+
+let hop_events_checked t = t.hop_checked
+
 let observe_backlog t ~backlog ~now =
   if not (Float.is_finite backlog) then
     fail t "backlog is not finite (%g) at %.6f" backlog now;
@@ -231,4 +291,13 @@ let assert_quiesced t =
          (conservation)"
         fs.label
         (Hashtbl.length fs.outstanding)
+  done;
+  for link = 0 to Array.length t.hop_entered - 1 do
+    if t.hop_entered.(link) <> t.hop_exited.(link) then
+      fail t
+        "link %d: %d packets entered the hop but %d exited after quiesce \
+         (per-hop conservation)"
+        link
+        t.hop_entered.(link)
+        t.hop_exited.(link)
   done

@@ -48,6 +48,29 @@ val on_loss : t -> flow:int -> seq:int -> size:int -> now:float -> unit
 val observe_backlog : t -> backlog:float -> now:float -> unit
 (** Check a sampled link backlog (finite, non-negative). *)
 
+(** {2 Per-hop occupancy (multi-hop topologies)}
+
+    The {!Runner} feeds one [on_hop_enter] per packet admitted to a hop
+    queue, one [on_hop_exit] when it reaches the far end, and one
+    [on_hop_drop] when the hop refuses it (outage, random loss, tail
+    drop). The auditor checks the clock stays monotone, that no hop
+    reports more exits than entries, and — at {!assert_quiesced} — that
+    every entered packet exited ({e per-hop} conservation, layered
+    under the flow-level law). Hop events are counted separately in
+    {!hop_events_checked} and do not contribute to
+    {!events_checked}. *)
+
+val on_hop_enter : t -> link:int -> now:float -> unit
+val on_hop_exit : t -> link:int -> now:float -> unit
+val on_hop_drop : t -> link:int -> now:float -> unit
+
+val hop_counters : t -> link:int -> int * int * int
+(** [(entered, exited, dropped)] for the link ([(0,0,0)] if it never
+    saw a hop event). *)
+
+val hop_events_checked : t -> int
+(** Total per-hop events fed through the auditor (diagnostic). *)
+
 val outstanding : t -> int
 (** Packets currently in flight across all registered flows. *)
 

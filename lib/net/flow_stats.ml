@@ -6,6 +6,7 @@ type t = {
   mutable lost : int;
   mutable dup_acked : int;
   mutable bytes_acked : float;
+  mutable lost_by_hop : int array; (* indexed by link id; grown on demand *)
   ack_times : Fvec.t;
   ack_bytes : Fvec.t;
   rtts : Fvec.t;
@@ -18,6 +19,7 @@ let create () =
     lost = 0;
     dup_acked = 0;
     bytes_acked = 0.0;
+    lost_by_hop = [||];
     ack_times = Fvec.create ~capacity:1024 ();
     ack_bytes = Fvec.create ~capacity:1024 ();
     rtts = Fvec.create ~capacity:1024 ();
@@ -32,11 +34,34 @@ let record_ack t ~now ~size ~rtt =
   Fvec.push t.ack_bytes (float_of_int size);
   Fvec.push t.rtts rtt
 
-let record_loss t ~now:_ ~size:_ = t.lost <- t.lost + 1
+let record_loss ?(hop = 0) t ~now:_ ~size:_ =
+  t.lost <- t.lost + 1;
+  if hop < 0 then invalid_arg "Flow_stats.record_loss: negative hop";
+  if hop >= Array.length t.lost_by_hop then begin
+    let cap = max (hop + 1) (max 4 (2 * Array.length t.lost_by_hop)) in
+    let a = Array.make cap 0 in
+    Array.blit t.lost_by_hop 0 a 0 (Array.length t.lost_by_hop);
+    t.lost_by_hop <- a
+  end;
+  t.lost_by_hop.(hop) <- t.lost_by_hop.(hop) + 1
+
 let record_dup_ack t ~now:_ = t.dup_acked <- t.dup_acked + 1
 let packets_sent t = t.sent
 let packets_acked t = t.acked
 let packets_lost t = t.lost
+
+let packets_lost_at t ~hop =
+  if hop < 0 || hop >= Array.length t.lost_by_hop then 0
+  else t.lost_by_hop.(hop)
+
+let losses_by_hop t =
+  (* Trim trailing zero entries so the result is independent of the
+     growth policy. *)
+  let n = ref (Array.length t.lost_by_hop) in
+  while !n > 0 && t.lost_by_hop.(!n - 1) = 0 do
+    decr n
+  done;
+  Array.sub t.lost_by_hop 0 !n
 let packets_dup_acked t = t.dup_acked
 let bytes_acked t = t.bytes_acked
 

@@ -11,7 +11,11 @@ val create : unit -> t
 
 val record_sent : t -> now:float -> size:int -> unit
 val record_ack : t -> now:float -> size:int -> rtt:float -> unit
-val record_loss : t -> now:float -> size:int -> unit
+
+val record_loss : ?hop:int -> t -> now:float -> size:int -> unit
+(** [hop] (default 0) is the id of the link the packet was lost on, for
+    per-hop drop attribution in multi-hop topologies. Raises
+    [Invalid_argument] on a negative hop. *)
 
 val record_dup_ack : t -> now:float -> unit
 (** A duplicate ACK delivery (link duplication knob); duplicates do not
@@ -22,6 +26,14 @@ val record_dup_ack : t -> now:float -> unit
 val packets_sent : t -> int
 val packets_acked : t -> int
 val packets_lost : t -> int
+
+val packets_lost_at : t -> hop:int -> int
+(** Losses attributed to link id [hop] (0 for a hop never lost on). *)
+
+val losses_by_hop : t -> int array
+(** Per-link loss counts indexed by link id, trailing zeros trimmed;
+    sums to {!packets_lost}. A dumbbell attributes every loss to link
+    0. *)
 
 val packets_dup_acked : t -> int
 (** Duplicate ACK deliveries observed (0 unless the link's duplication

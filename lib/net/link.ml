@@ -236,6 +236,7 @@ let sync t ~now =
 
 let capacity_bytes_per_sec t = t.capacity
 let base_rtt t = 2.0 *. t.prop_one_way
+let one_way_delay t = t.prop_one_way
 
 let is_down t ~now =
   sync t ~now;
@@ -266,6 +267,64 @@ let draw_loss t =
         (if t.ge_bad then not (Rng.bernoulli t.rng ~p:p_bad_good)
          else Rng.bernoulli t.rng ~p:p_good_bad);
       Rng.bernoulli t.rng ~p:(if t.ge_bad then loss_bad else loss_good)
+
+(* ---------- multi-hop primitives ----------
+   [forward] is the one-way analogue of [transmit]: same admission
+   sequence (outage refusal, loss draw, tail drop, outage lookahead)
+   but the outcome is an arrival time at the far end of the hop — no
+   ACK machinery, no noise/reorder/dup, no FIFO ACK clamp. Those knobs
+   remain dumbbell-only; a multi-hop route models the reverse direction
+   with explicit reverse-hop links instead. *)
+
+type fwd_outcome = Fwd_arrival of float | Fwd_dropped
+
+let forward t ~now ~size =
+  sync t ~now;
+  if
+    t.out_idx < Array.length t.out_start
+    && t.out_start.(t.out_idx) <= now
+    && now < t.out_end.(t.out_idx)
+  then Fwd_dropped
+  else if draw_loss t then Fwd_dropped
+  else begin
+    let sizef = float_of_int size in
+    if (Float.max 0.0 (t.free_at -. now) *. t.capacity) +. sizef > t.buffer_bytes
+    then Fwd_dropped
+    else begin
+      let start = Float.max now t.free_at in
+      let departure = ref (start +. (sizef /. t.capacity)) in
+      let flushed = ref false in
+      let i = ref t.out_idx in
+      while
+        (not !flushed)
+        && !i < Array.length t.out_start
+        && !departure > t.out_start.(!i)
+      do
+        if t.out_start.(!i) >= now then begin
+          if t.out_flush.(!i) then flushed := true
+          else departure := !departure +. (t.out_end.(!i) -. t.out_start.(!i))
+        end;
+        incr i
+      done;
+      (* Even a flushed packet occupies the queue until the flush. *)
+      t.free_at <- !departure;
+      if !flushed then Fwd_dropped
+      else Fwd_arrival (!departure +. t.prop_one_way)
+    end
+  end
+
+(* ACKs crossing a reverse-route hop wait behind whatever data backlog
+   the hop carries at computation time, pay their own serialization
+   time, and ride one propagation delay — but never queue-build, drop,
+   or mutate the link ([free_at] is read, not written). The schedule is
+   synced at simulated-now only: [at] may lie in the future, and
+   syncing to it would apply impairments early. Because [free_at] is
+   nondecreasing over successive calls, ACK order is preserved. *)
+let ack_transit t ~now ~at =
+  sync t ~now;
+  Float.max at t.free_at
+  +. (float_of_int Units.ack_bytes /. t.capacity)
+  +. t.prop_one_way
 
 let transmit t ~now ~size =
   sync t ~now;

@@ -113,6 +113,9 @@ val capacity_bytes_per_sec : t -> float
 val base_rtt : t -> float
 (** Current base RTT (reflects schedule entries applied so far). *)
 
+val one_way_delay : t -> float
+(** Current one-way propagation delay ([base_rtt / 2]). *)
+
 val is_down : t -> now:float -> bool
 (** Whether [now] falls inside an outage window. *)
 
@@ -125,3 +128,30 @@ val queue_delay : t -> now:float -> float
 val transmit : t -> now:float -> size:int -> outcome
 (** Offer a packet to the link at time [now]. Calls must be made in
     nondecreasing [now] order (simulated time). *)
+
+(** {2 Multi-hop primitives}
+
+    When a link serves as one hop of a {!Topology} route it is driven
+    through [forward]/[ack_transit] instead of [transmit]: the same
+    admission machinery (outage refusal, random loss, tail drop, outage
+    lookahead) applies per hop, but delivery is one-way and the reverse
+    direction is modelled by explicit reverse-route links. The
+    noise/reorder/dup knobs are dumbbell-only and ignored on these
+    paths. *)
+
+type fwd_outcome =
+  | Fwd_arrival of float
+      (** Packet reaches the far end of the hop at this time. *)
+  | Fwd_dropped  (** Lost on this hop (outage, random loss or tail drop). *)
+
+val forward : t -> now:float -> size:int -> fwd_outcome
+(** One-way analogue of {!transmit}: offer a packet to this hop at time
+    [now] (nondecreasing across calls). *)
+
+val ack_transit : t -> now:float -> at:float -> float
+(** Delivery time at the far end for an ACK that reaches this hop at
+    [at] ([>= now], possibly in the future). The ACK waits behind the
+    hop's data backlog as of [now], pays [Units.ack_bytes] of
+    serialization and one propagation delay; ACKs are never dropped and
+    never queue-build. [now] must be simulated-now — the impairment
+    schedule is synced to it, not to [at]. *)

@@ -8,17 +8,23 @@ module Metrics = Proteus_obs.Metrics
 let burst_cap = 64
 
 (* Per-flow in-flight packet state lives in a structure-of-arrays ring:
-   transmitting a packet fills a recycled slot and schedules one of two
-   reusable handlers (ack / loss) through [Sim.at_fn] with the slot
-   index as argument, so steady-state transmission allocates nothing —
-   the closure-per-packet pattern is gone. Slots are free-listed rather
-   than FIFO because ACK-path noise can reorder delivery times. *)
+   transmitting a packet fills a recycled slot and schedules one of the
+   reusable handlers (ack / loss / hop) through [Sim.at_fn] with the
+   slot index as argument, so steady-state transmission allocates
+   nothing — the closure-per-packet pattern is gone. Slots are
+   free-listed rather than FIFO because ACK-path noise can reorder
+   delivery times. *)
 
 type flow = {
   label : string;
   id : int; (* dense index; doubles as the auditor's flow id *)
   sender : Sender.packed;
   stats : Flow_stats.t;
+  (* Static route: link ids traversed forward / retraced by ACKs. The
+     classic dumbbell is [fwd = [|0|]], [rev = [||]] — the reverse path
+     is implicit in [Link.transmit]. *)
+  route_fwd : int array;
+  route_rev : int array;
   mutable next_seq : int;
   mutable remaining : int; (* bytes not yet handed to the link; -1 = unbounded *)
   total_bytes : int; (* -1 = bulk flow, never completes *)
@@ -37,6 +43,7 @@ type flow = {
   mutable ring_send : float array;
   mutable ring_size : int array;
   mutable ring_rtt : float array;
+  mutable ring_hop : int array; (* index into route_fwd of the hop in progress *)
   mutable ring_free : int array; (* stack of free slot ids *)
   mutable ring_free_len : int;
   (* Reusable event handlers, created once per flow in [add_flow]. *)
@@ -44,11 +51,13 @@ type flow = {
   mutable loss_fn : int -> unit;
   mutable dup_fn : int -> unit;
   mutable poll_fn : int -> unit;
+  mutable hop_fn : int -> unit;
 }
 
 type t = {
   sim : Sim.t;
-  link : Link.t;
+  links : Link.t array;
+  classic : bool; (* dumbbell: links.(0) is the legacy full-duplex link *)
   root_rng : Rng.t;
   trace : Trace.t;
   mutable flows : flow list;
@@ -56,11 +65,32 @@ type t = {
   mutable audit : Audit.t option;
 }
 
-let create ?(seed = 42) ?(trace = Trace.disabled) link_cfg =
+let create_topo ?(seed = 42) ?(trace = Trace.disabled) topo =
   let root_rng = Rng.create ~seed in
   let sim = Sim.create () in
-  let link = Link.create ~trace link_cfg ~rng:(Rng.split root_rng) in
-  { sim; link; root_rng; trace; flows = []; next_id = 0; audit = None }
+  (* Links are instantiated in id order with one RNG split each; for a
+     dumbbell this is exactly the historical single split, preserving
+     seeded runs bit-for-bit. Explicit loop: [Array.init]'s evaluation
+     order is unspecified and the splits are order-sensitive. *)
+  let n = Topology.num_links topo in
+  let first = Link.create ~trace (Topology.link_config topo 0) ~rng:(Rng.split root_rng) in
+  let links = Array.make n first in
+  for i = 1 to n - 1 do
+    links.(i) <- Link.create ~trace (Topology.link_config topo i) ~rng:(Rng.split root_rng)
+  done;
+  {
+    sim;
+    links;
+    classic = Topology.is_classic topo;
+    root_rng;
+    trace;
+    flows = [];
+    next_id = 0;
+    audit = None;
+  }
+
+let create ?seed ?trace link_cfg =
+  create_topo ?seed ?trace (Topology.dumbbell link_cfg)
 
 let attach_audit ?trace t =
   let a = Audit.create ?trace ~obs:t.trace () in
@@ -77,7 +107,14 @@ let attach_audit ?trace t =
 let audit t = t.audit
 
 let sim t = t.sim
-let link t = t.link
+
+let link t =
+  if not t.classic then
+    invalid_arg "Runner.link: multi-hop topology (use Runner.link_at)";
+  t.links.(0)
+
+let link_at t i = t.links.(i)
+let num_links t = Array.length t.links
 let rng t = t.root_rng
 let stats f = f.stats
 let label f = f.label
@@ -106,6 +143,7 @@ let acquire_slot f =
     in
     f.ring_seq <- grow_int f.ring_seq;
     f.ring_size <- grow_int f.ring_size;
+    f.ring_hop <- grow_int f.ring_hop;
     f.ring_send <- grow_float f.ring_send;
     f.ring_rtt <- grow_float f.ring_rtt;
     f.ring_free <- Array.make ncap 0;
@@ -120,6 +158,71 @@ let acquire_slot f =
 let release_slot f idx =
   f.ring_free.(f.ring_free_len) <- idx;
   f.ring_free_len <- f.ring_free_len + 1
+
+(* ---------- multi-hop forward progression ----------
+
+   A packet on an [n]-hop route generates one hop event per hop: it is
+   admitted to hop [k]'s queue ([Link.forward]) and, on arrival at the
+   far end, [hop_fn] fires to admit it to hop [k+1] at the arrival
+   time. A drop can happen at any hop (outage, random loss, tail drop);
+   the loss notification then accumulates the residual queue wait at
+   the dropping hop plus the propagation of the remaining forward hops
+   and the whole reverse route — the gap is revealed by a later
+   packet's ACK. When the last hop delivers, the ACK retraces the
+   reverse route eagerly: at delivery time each reverse hop contributes
+   its current data backlog, the ACK's own serialization and one
+   propagation delay ([Link.ack_transit]); ACKs are never dropped.
+   [free_at] is nondecreasing, so per-flow ACK order is preserved. *)
+
+let admit_hop t f idx =
+  let now = Sim.now t.sim in
+  let k = f.ring_hop.(idx) in
+  let link_id = f.route_fwd.(k) in
+  let link = t.links.(link_id) in
+  let size = f.ring_size.(idx) in
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~time:now ~kind:Trace.Queue_sample ~flow:f.id ~seq:0
+      ~a:(Link.backlog_bytes link ~now)
+      ~b:(float_of_int link_id) ~note:"";
+  match Link.forward link ~now ~size with
+  | Link.Fwd_arrival at ->
+      (match t.audit with
+      | Some a -> Audit.on_hop_enter a ~link:link_id ~now
+      | None -> ());
+      Sim.at_fn t.sim ~time:at ~fn:f.hop_fn ~arg:idx
+  | Link.Fwd_dropped ->
+      (match t.audit with
+      | Some a -> Audit.on_hop_drop a ~link:link_id ~now
+      | None -> ());
+      let notify = ref (now +. Link.queue_delay link ~now) in
+      for j = k to Array.length f.route_fwd - 1 do
+        notify := !notify +. Link.one_way_delay t.links.(f.route_fwd.(j))
+      done;
+      for j = 0 to Array.length f.route_rev - 1 do
+        notify := !notify +. Link.one_way_delay t.links.(f.route_rev.(j))
+      done;
+      Sim.at_fn t.sim ~time:!notify ~fn:f.loss_fn ~arg:idx
+
+let deliver_multi t f idx =
+  (* The packet just reached the receiver; walk the reverse route. *)
+  let now = Sim.now t.sim in
+  let ack = ref now in
+  for j = 0 to Array.length f.route_rev - 1 do
+    ack := Link.ack_transit t.links.(f.route_rev.(j)) ~now ~at:!ack
+  done;
+  f.ring_rtt.(idx) <- !ack -. f.ring_send.(idx);
+  Sim.at_fn t.sim ~time:!ack ~fn:f.ack_fn ~arg:idx
+
+let on_hop_event t f idx =
+  let k = f.ring_hop.(idx) in
+  (match t.audit with
+  | Some a -> Audit.on_hop_exit a ~link:(f.route_fwd.(k)) ~now:(Sim.now t.sim)
+  | None -> ());
+  if k + 1 < Array.length f.route_fwd then begin
+    f.ring_hop.(idx) <- k + 1;
+    admit_hop t f idx
+  end
+  else deliver_multi t f idx
 
 let rec schedule_poll t f ~time =
   if not f.poll_pending then begin
@@ -157,9 +260,15 @@ and transmit t f budget =
   Sender.on_sent f.sender ~now ~seq ~size;
   if Trace.enabled t.trace then begin
     Trace.emit t.trace ~time:now ~kind:Trace.Send ~flow:f.id ~seq
-      ~a:(float_of_int size) ~b:0.0 ~note:"";
-    Trace.emit t.trace ~time:now ~kind:Trace.Queue_sample ~flow:f.id ~seq:0
-      ~a:(Link.backlog_bytes t.link ~now) ~b:0.0 ~note:""
+      ~a:(float_of_int size)
+      ~b:(float_of_int f.route_fwd.(0))
+      ~note:"";
+    (* On a multi-hop route the per-hop [Queue_sample] is emitted at
+       each hop admission instead. *)
+    if t.classic then
+      Trace.emit t.trace ~time:now ~kind:Trace.Queue_sample ~flow:f.id ~seq:0
+        ~a:(Link.backlog_bytes t.links.(0) ~now)
+        ~b:0.0 ~note:""
   end;
   (match t.audit with
   | Some a -> Audit.on_sent a ~flow:f.id ~seq ~size ~now
@@ -168,26 +277,33 @@ and transmit t f budget =
   f.ring_seq.(idx) <- seq;
   f.ring_send.(idx) <- now;
   f.ring_size.(idx) <- size;
-  (match Link.transmit t.link ~now ~size with
-  | Link.Delivered { ack_time; rtt; dup_ack_time } ->
-      f.ring_rtt.(idx) <- rtt;
-      Sim.at_fn t.sim ~time:ack_time ~fn:f.ack_fn ~arg:idx;
-      if not (Float.is_nan dup_ack_time) then begin
-        (* Duplicate ACK: a second slot carries the same packet identity
-           so the dup fires through its own reusable handler after the
-           primary ACK. *)
-        let didx = acquire_slot f in
-        f.ring_seq.(didx) <- seq;
-        f.ring_send.(didx) <- now;
-        f.ring_size.(didx) <- size;
-        f.ring_rtt.(didx) <- dup_ack_time -. now;
-        Sim.at_fn t.sim ~time:dup_ack_time ~fn:f.dup_fn ~arg:didx
-      end
-  | Link.Dropped { notify_time } ->
-      Sim.at_fn t.sim ~time:notify_time ~fn:f.loss_fn ~arg:idx);
+  (if t.classic then
+     match Link.transmit t.links.(0) ~now ~size with
+     | Link.Delivered { ack_time; rtt; dup_ack_time } ->
+         f.ring_rtt.(idx) <- rtt;
+         Sim.at_fn t.sim ~time:ack_time ~fn:f.ack_fn ~arg:idx;
+         if not (Float.is_nan dup_ack_time) then begin
+           (* Duplicate ACK: a second slot carries the same packet
+              identity so the dup fires through its own reusable handler
+              after the primary ACK. *)
+           let didx = acquire_slot f in
+           f.ring_seq.(didx) <- seq;
+           f.ring_send.(didx) <- now;
+           f.ring_size.(didx) <- size;
+           f.ring_rtt.(didx) <- dup_ack_time -. now;
+           Sim.at_fn t.sim ~time:dup_ack_time ~fn:f.dup_fn ~arg:didx
+         end
+     | Link.Dropped { notify_time } ->
+         Sim.at_fn t.sim ~time:notify_time ~fn:f.loss_fn ~arg:idx
+   else begin
+     f.ring_hop.(idx) <- 0;
+     admit_hop t f idx
+   end);
   (match t.audit with
   | Some a ->
-      Audit.observe_backlog a ~backlog:(Link.backlog_bytes t.link ~now) ~now
+      Audit.observe_backlog a
+        ~backlog:(Link.backlog_bytes t.links.(f.route_fwd.(0)) ~now)
+        ~now
   | None -> ());
   send_burst t f (budget - 1)
 
@@ -206,7 +322,9 @@ and handle_ack t f ~seq ~send_time ~size ~rtt =
   (match t.audit with
   | Some a ->
       Audit.on_ack a ~flow:f.id ~seq ~size ~now;
-      Audit.observe_backlog a ~backlog:(Link.backlog_bytes t.link ~now) ~now
+      Audit.observe_backlog a
+        ~backlog:(Link.backlog_bytes t.links.(f.route_fwd.(0)) ~now)
+        ~now
   | None -> ());
   Flow_stats.record_ack f.stats ~now ~size ~rtt;
   Sender.on_ack f.sender ~now ~seq ~send_time ~size ~rtt;
@@ -235,17 +353,20 @@ and handle_dup_ack t f ~seq ~send_time ~size ~rtt =
   Sender.on_ack f.sender ~now ~seq ~send_time ~size ~rtt;
   kick t f
 
-and handle_loss t f ~seq ~send_time ~size =
+and handle_loss t f ~seq ~send_time ~size ~hop =
   let now = Sim.now t.sim in
   if Trace.enabled t.trace then
     Trace.emit t.trace ~time:now ~kind:Trace.Loss ~flow:f.id ~seq
-      ~a:(float_of_int size) ~b:0.0 ~note:"";
+      ~a:(float_of_int size)
+      ~b:(float_of_int hop) ~note:"";
   (match t.audit with
   | Some a ->
       Audit.on_loss a ~flow:f.id ~seq ~size ~now;
-      Audit.observe_backlog a ~backlog:(Link.backlog_bytes t.link ~now) ~now
+      Audit.observe_backlog a
+        ~backlog:(Link.backlog_bytes t.links.(f.route_fwd.(0)) ~now)
+        ~now
   | None -> ());
-  Flow_stats.record_loss f.stats ~now ~size;
+  Flow_stats.record_loss ~hop f.stats ~now ~size;
   Sender.on_loss f.sender ~now ~seq ~send_time ~size;
   (* Reliable delivery for finite flows: the lost bytes re-enter the
      send budget (retransmission). *)
@@ -263,9 +384,10 @@ let on_ack_event t f idx =
 let on_loss_event t f idx =
   let seq = f.ring_seq.(idx)
   and send_time = f.ring_send.(idx)
-  and size = f.ring_size.(idx) in
+  and size = f.ring_size.(idx)
+  and hop = f.route_fwd.(f.ring_hop.(idx)) in
   release_slot f idx;
-  handle_loss t f ~seq ~send_time ~size
+  handle_loss t f ~seq ~send_time ~size ~hop
 
 let on_dup_ack_event t f idx =
   let seq = f.ring_seq.(idx)
@@ -275,10 +397,39 @@ let on_dup_ack_event t f idx =
   release_slot f idx;
   handle_dup_ack t f ~seq ~send_time ~size ~rtt
 
-let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
-    ~label ~factory =
+let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes ?route
+    t ~label ~factory =
+  let route_fwd, route_rev =
+    match (t.classic, route) with
+    | true, None -> ([| 0 |], [||])
+    | true, Some _ ->
+        invalid_arg
+          "Runner.add_flow: dumbbell flows take the implicit route (drop \
+           ~route or build the topology with Topology.make/chain)"
+    | false, Some r ->
+        let fwd = Topology.route_fwd r and rev = Topology.route_rev r in
+        let n = Array.length t.links in
+        Array.iter
+          (fun id ->
+            if id < 0 || id >= n then
+              invalid_arg
+                (Printf.sprintf
+                   "Runner.add_flow: route link id %d outside this topology \
+                    [0, %d)"
+                   id n))
+          (Array.append fwd rev);
+        (fwd, rev)
+    | false, None ->
+        invalid_arg
+          "Runner.add_flow: a multi-hop topology needs an explicit ~route"
+  in
   let env =
-    { Sender.rng = Rng.split t.root_rng; mtu = Units.mtu; trace = t.trace }
+    {
+      Sender.rng = Rng.split t.root_rng;
+      mtu = Units.mtu;
+      trace = t.trace;
+      hops = Array.length route_fwd;
+    }
   in
   let bytes = match size_bytes with Some b -> b | None -> -1 in
   let id = t.next_id in
@@ -289,6 +440,8 @@ let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
       id;
       sender = factory env;
       stats = Flow_stats.create ();
+      route_fwd;
+      route_rev;
       next_seq = 0;
       remaining = bytes;
       total_bytes = bytes;
@@ -306,17 +459,20 @@ let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes t
       ring_send = [||];
       ring_size = [||];
       ring_rtt = [||];
+      ring_hop = [||];
       ring_free = [||];
       ring_free_len = 0;
       ack_fn = ignore;
       loss_fn = ignore;
       dup_fn = ignore;
       poll_fn = ignore;
+      hop_fn = ignore;
     }
   in
   f.ack_fn <- (fun idx -> on_ack_event t f idx);
   f.loss_fn <- (fun idx -> on_loss_event t f idx);
   f.dup_fn <- (fun idx -> on_dup_ack_event t f idx);
+  f.hop_fn <- (fun idx -> on_hop_event t f idx);
   f.poll_fn <-
     (fun _ ->
       f.poll_pending <- false;
@@ -343,7 +499,17 @@ let snapshot_metrics t reg =
       (Metrics.counter reg "trace.emitted");
     Metrics.incr ~by:(Trace.dropped t.trace) (Metrics.counter reg "trace.dropped")
   end;
-  Metrics.set (Metrics.gauge reg "link.backlog-bytes") (Link.backlog_bytes t.link ~now);
+  if t.classic then
+    Metrics.set
+      (Metrics.gauge reg "link.backlog-bytes")
+      (Link.backlog_bytes t.links.(0) ~now)
+  else
+    Array.iteri
+      (fun i l ->
+        Metrics.set
+          (Metrics.gauge reg (Printf.sprintf "link.%d.backlog-bytes" i))
+          (Link.backlog_bytes l ~now))
+      t.links;
   List.iter
     (fun f ->
       let s = f.stats in

@@ -1,29 +1,59 @@
-(** Scenario driver: a set of flows sharing one bottleneck link.
+(** Scenario driver: a set of flows crossing a network of links.
 
     The runner owns the event loop. It polls each sender for pacing
-    decisions, pushes packets through the {!Link}, and delivers
-    ACK/loss callbacks both to the sender (congestion control) and to
-    the flow's {!Flow_stats} record. Flows may be bulk (infinite data),
-    finite-size (reliable: lost bytes are retransmitted and the flow
-    completes when every byte is acknowledged), time-bounded, and may be
-    added while the simulation is running (workload generators). *)
+    decisions, pushes packets hop by hop along the flow's route, and
+    delivers ACK/loss callbacks both to the sender (congestion control)
+    and to the flow's {!Flow_stats} record. Flows may be bulk (infinite
+    data), finite-size (reliable: lost bytes are retransmitted and the
+    flow completes when every byte is acknowledged), time-bounded, and
+    may be added while the simulation is running (workload generators).
+
+    Two instantiation paths:
+
+    - {!create} (or {!create_topo} over a {!Topology.dumbbell}) is the
+      classic single-bottleneck scenario: every flow crosses the one
+      full-duplex link, whose ACK noise / reordering / duplication
+      knobs apply. Seeded classic runs are bit-identical to the
+      historical single-link runner.
+    - {!create_topo} over a multi-hop topology routes each flow along
+      its {!Topology.route}: packets queue (and can be tail-dropped,
+      randomly lost, or refused during an outage) at {e every} forward
+      hop, and ACKs retrace the reverse route, accumulating
+      serialization and propagation delay behind each reverse hop's
+      data backlog. ACKs are never dropped; the dumbbell-only
+      noise/reorder/dup knobs are ignored on multi-hop routes. *)
 
 type t
 type flow
 
 val create : ?seed:int -> ?trace:Proteus_obs.Trace.t -> Link.config -> t
-(** Fresh scenario over a link with the given configuration. The seed
-    (default 42) determines all randomness: link loss, noise, sender
-    probing order, workload arrivals. [trace] (default disabled) is the
-    observability bus: the runner publishes packet-level events
-    ([Send], [Ack], [Dup_ack], [Loss], [Queue_sample]), the link
-    publishes [Impairment] transitions, and senders receive the same
-    bus through their {!Sender.env}. Tracing consumes no randomness and
-    never alters control flow, so seeded runs are bit-identical with
-    tracing on or off. *)
+(** Fresh classic scenario over a single bottleneck link — shorthand for
+    [create_topo (Topology.dumbbell cfg)]. The seed (default 42)
+    determines all randomness: link loss, noise, sender probing order,
+    workload arrivals. [trace] (default disabled) is the observability
+    bus: the runner publishes packet-level events ([Send], [Ack],
+    [Dup_ack], [Loss], [Queue_sample]), links publish [Impairment]
+    transitions, and senders receive the same bus through their
+    {!Sender.env}. Tracing consumes no randomness and never alters
+    control flow, so seeded runs are bit-identical with tracing on or
+    off. *)
+
+val create_topo : ?seed:int -> ?trace:Proteus_obs.Trace.t -> Topology.t -> t
+(** Fresh scenario over a {!Topology}. Links are instantiated in id
+    order, each with its own stream split from the seed, so a
+    [Topology.dumbbell] reproduces {!create} bit-for-bit. *)
 
 val sim : t -> Proteus_eventsim.Sim.t
+
 val link : t -> Link.t
+(** The bottleneck of a classic (dumbbell) scenario. Raises
+    [Invalid_argument] on a multi-hop topology — use {!link_at}. *)
+
+val link_at : t -> int -> Link.t
+(** The instantiated link with the given topology id. *)
+
+val num_links : t -> int
+
 val rng : t -> Proteus_stats.Rng.t
 (** Derive workload-level random streams from this. *)
 
@@ -33,6 +63,7 @@ val add_flow :
   ?size_bytes:int ->
   ?on_complete:(now:float -> unit) ->
   ?on_ack_bytes:(now:float -> int -> unit) ->
+  ?route:Topology.route ->
   t ->
   label:string ->
   factory:Sender.factory ->
@@ -42,7 +73,10 @@ val add_flow :
     optional finite transfer size. [on_ack_bytes] fires on every
     acknowledged packet (application byte delivery, e.g. a video
     player); [on_complete] fires when a finite flow has every byte
-    acknowledged. *)
+    acknowledged. [route] is required on a multi-hop topology and must
+    be omitted on a classic dumbbell (whose flows take the implicit
+    single-link route); raises [Invalid_argument] otherwise, or when
+    the route references a link id outside the runner's topology. *)
 
 val stats : flow -> Flow_stats.t
 val label : flow -> string
@@ -58,13 +92,14 @@ val resume : t -> flow -> unit
 val attach_audit : ?trace:int -> t -> Audit.t
 (** Install a runtime invariant {!Audit} fed every subsequent
     packet-level event (sends, ACKs, duplicate ACKs, losses, backlog
-    samples). Must be attached before any packet is in flight — the
-    auditor treats deliveries of packets it never saw sent as
-    conservation violations. Attaching again replaces the previous
-    auditor. [trace] bounds the ring-buffer trace embedded in
-    {!Audit.Violation} reports. The auditor shares the runner's
-    observability bus, so violations also surface as [Audit_violation]
-    trace events. *)
+    samples — plus per-hop enter/exit/drop events on multi-hop
+    topologies, checked for per-hop conservation at quiesce). Must be
+    attached before any packet is in flight — the auditor treats
+    deliveries of packets it never saw sent as conservation violations.
+    Attaching again replaces the previous auditor. [trace] bounds the
+    ring-buffer trace embedded in {!Audit.Violation} reports. The
+    auditor shares the runner's observability bus, so violations also
+    surface as [Audit_violation] trace events. *)
 
 val audit : t -> Audit.t option
 (** The currently attached auditor, if any. *)
@@ -72,9 +107,11 @@ val audit : t -> Audit.t option
 val snapshot_metrics : t -> Proteus_obs.Metrics.t -> unit
 (** Populate a metrics registry with an end-of-run snapshot: event-kernel
     counters ([sim.*]), trace-bus counters ([trace.*]) when tracing is
-    enabled, the current link backlog, and per-flow packet counters,
-    goodput gauges and an RTT histogram ([flow.<label>.*]). Counters are
-    bumped by the totals at call time, so call once per registry (an
+    enabled, the current backlog of the classic link
+    ([link.backlog-bytes]) or of every topology link
+    ([link.<id>.backlog-bytes]), and per-flow packet counters, goodput
+    gauges and an RTT histogram ([flow.<label>.*]). Counters are bumped
+    by the totals at call time, so call once per registry (an
     end-of-run snapshot, not an incremental feed). *)
 
 val run : t -> until:float -> unit

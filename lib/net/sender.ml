@@ -2,10 +2,12 @@ type env = {
   rng : Proteus_stats.Rng.t;
   mtu : int;
   trace : Proteus_obs.Trace.t;
+  hops : int;
 }
 
-let make_env ?(trace = Proteus_obs.Trace.disabled) ~rng ~mtu () =
-  { rng; mtu; trace }
+let make_env ?(trace = Proteus_obs.Trace.disabled) ?(hops = 1) ~rng ~mtu () =
+  if hops < 1 then invalid_arg "Sender.make_env: hops must be at least 1";
+  { rng; mtu; trace; hops }
 type decision = [ `Now | `At of float | `Blocked ]
 
 module type S = sig

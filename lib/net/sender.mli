@@ -22,11 +22,21 @@ type env = {
           (MI boundaries, rate decisions, utility samples). Defaults to
           {!Proteus_obs.Trace.disabled}; senders must guard emission
           with {!Proteus_obs.Trace.enabled}. *)
+  hops : int;
+      (** Forward-path hop count of the flow's route (1 on the classic
+          dumbbell). Informational: lets a controller scale priors such
+          as initial RTT estimates to the path length. *)
 }
 
 val make_env :
-  ?trace:Proteus_obs.Trace.t -> rng:Proteus_stats.Rng.t -> mtu:int -> unit -> env
-(** Convenience constructor defaulting [trace] to the disabled bus. *)
+  ?trace:Proteus_obs.Trace.t ->
+  ?hops:int ->
+  rng:Proteus_stats.Rng.t ->
+  mtu:int ->
+  unit ->
+  env
+(** Convenience constructor defaulting [trace] to the disabled bus and
+    [hops] to 1. Raises [Invalid_argument] when [hops < 1]. *)
 
 type decision =
   [ `Now  (** Transmit a packet immediately. *)

@@ -1,0 +1,64 @@
+type route = { fwd : int array; rev : int array }
+
+type t = {
+  links : Link.config array;
+  classic : bool;
+  chain_hops : int; (* > 0 iff built by [chain] *)
+}
+
+let num_links t = Array.length t.links
+let link_config t i = t.links.(i)
+let is_classic t = t.classic
+let chain_hops t = t.chain_hops
+
+let make = function
+  | [] -> invalid_arg "Topology.make: a topology needs at least one link"
+  | links -> { links = Array.of_list links; classic = false; chain_hops = 0 }
+
+let dumbbell cfg = { links = [| cfg |]; classic = true; chain_hops = 0 }
+
+let chain ?rev fwd =
+  let n = List.length fwd in
+  if n = 0 then invalid_arg "Topology.chain: a chain needs at least one hop";
+  let rev = match rev with Some r -> r | None -> fwd in
+  if List.length rev <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Topology.chain: %d reverse-direction links for %d forward hops"
+         (List.length rev) n);
+  { links = Array.of_list (fwd @ rev); classic = false; chain_hops = n }
+
+let route t ~fwd ~rev =
+  if fwd = [] then invalid_arg "Topology.route: forward path is empty";
+  let n = num_links t in
+  let check id =
+    if id < 0 || id >= n then
+      invalid_arg
+        (Printf.sprintf "Topology.route: link id %d outside [0, %d)" id n)
+  in
+  List.iter check fwd;
+  List.iter check rev;
+  { fwd = Array.of_list fwd; rev = Array.of_list rev }
+
+let chain_route t =
+  if t.chain_hops = 0 then
+    invalid_arg "Topology.chain_route: topology was not built by Topology.chain";
+  let n = t.chain_hops in
+  {
+    fwd = Array.init n (fun i -> i);
+    (* ACKs retrace the chain: the reverse link of the last forward hop
+       comes first. Reverse link of forward hop [j] has id [n + j]. *)
+    rev = Array.init n (fun i -> n + (n - 1 - i));
+  }
+
+let hop_route t ~hop =
+  if t.chain_hops = 0 then
+    invalid_arg "Topology.hop_route: topology was not built by Topology.chain";
+  if hop < 0 || hop >= t.chain_hops then
+    invalid_arg
+      (Printf.sprintf "Topology.hop_route: hop %d outside [0, %d)" hop
+         t.chain_hops);
+  { fwd = [| hop |]; rev = [| t.chain_hops + hop |] }
+
+let route_fwd r = Array.copy r.fwd
+let route_rev r = Array.copy r.rev

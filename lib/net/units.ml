@@ -1,4 +1,5 @@
 let mtu = 1500
+let ack_bytes = 40
 let mbps_to_bytes_per_sec m = m *. 1e6 /. 8.0
 let bytes_per_sec_to_mbps b = b *. 8.0 /. 1e6
 let ms x = x /. 1000.0

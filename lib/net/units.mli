@@ -4,6 +4,10 @@
 val mtu : int
 (** Packet size used throughout: 1500 bytes, headers ignored. *)
 
+val ack_bytes : int
+(** Acknowledgement size (40 bytes) — the serialization cost an ACK
+    pays on each reverse-route hop of a multi-hop topology. *)
+
 val mbps_to_bytes_per_sec : float -> float
 val bytes_per_sec_to_mbps : float -> float
 val ms : float -> float

@@ -20,9 +20,14 @@
     bit-identical with tracing on or off. *)
 
 type kind =
-  | Send  (** Packet handed to the link. [seq], [a]=size bytes. *)
+  | Send
+      (** Packet handed to the network. [seq], [a]=size bytes,
+          [b]=link id of the first hop of the flow's route (0 on the
+          classic dumbbell). *)
   | Ack  (** Packet acknowledged. [seq], [a]=rtt s, [b]=size bytes. *)
-  | Loss  (** Loss notification. [seq], [a]=size bytes. *)
+  | Loss
+      (** Loss notification. [seq], [a]=size bytes, [b]=id of the link
+          the packet was lost on (0 on the classic dumbbell). *)
   | Dup_ack  (** Duplicate ACK delivered. [seq]. *)
   | Mi_boundary
       (** Monitor interval closed. [seq]=MI id, [a]=duration s,
@@ -39,7 +44,10 @@ type kind =
           loss / outage seconds), [b]=1 for flushing outages; [note]
           names the transition (["down"], ["up"], ["set-bandwidth"],
           ...). *)
-  | Queue_sample  (** Link backlog sample. [a]=backlog bytes. *)
+  | Queue_sample
+      (** Link backlog sample at packet admission. [a]=backlog bytes,
+          [b]=sampled link's id (0 on the classic dumbbell; one sample
+          per hop admission on multi-hop routes). *)
   | Audit_violation  (** Invariant violation; [note] is the message. *)
 
 type t

@@ -8,6 +8,7 @@ let () =
       ("eventsim", Test_eventsim.suite);
       ("obs", Test_obs.suite);
       ("net", Test_net.suite);
+      ("topology", Test_topology.suite);
       ("faults", Test_faults.suite);
       ("cc", Test_cc.suite);
       ("proteus", Test_proteus.suite);
