@@ -1,0 +1,86 @@
+(* Bench-regression gate: compare a fresh micro run's
+   [sim_seconds_per_wall_second] headline against a committed baseline
+   BENCH_micro.json and fail (exit 1) when any kernel/shape pair
+   regressed by more than the threshold. The threshold is generous —
+   micro timings on shared CI runners are noisy — so only a real
+   slowdown (or an accidentally-committed stale baseline) trips it.
+
+     check_micro.exe BASELINE.json FRESH.json [--threshold 0.25]
+
+   The parser is deliberately minimal (no JSON dependency): it extracts
+   the flat {"key": number} pairs inside the headline object that
+   bench/exp_micro.ml itself writes. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let headline path =
+  let s = read_file path in
+  let anchor = "\"sim_seconds_per_wall_second\"" in
+  let start =
+    try Str.search_forward (Str.regexp_string anchor) s 0
+    with Not_found ->
+      Printf.eprintf "check_micro: no %s in %s\n" anchor path;
+      exit 2
+  in
+  let obj_start = String.index_from s start '{' + 1 in
+  let obj_end = String.index_from s obj_start '}' in
+  let body = String.sub s obj_start (obj_end - obj_start) in
+  String.split_on_char ',' body
+  |> List.filter_map (fun pair ->
+         match Str.split (Str.regexp "[\"{}: \n]+") pair with
+         | [ key; value ] -> (
+             match float_of_string_opt value with
+             | Some v -> Some (key, v)
+             | None -> None)
+         | _ -> None)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let threshold =
+    match args with
+    | _ :: _ :: _ :: "--threshold" :: t :: _ -> float_of_string t
+    | _ -> 0.25
+  in
+  let baseline_path, fresh_path =
+    match args with
+    | _ :: b :: f :: _ -> (b, f)
+    | _ ->
+        prerr_endline
+          "usage: check_micro BASELINE.json FRESH.json [--threshold 0.25]";
+        exit 2
+  in
+  let baseline = headline baseline_path in
+  let fresh = headline fresh_path in
+  if baseline = [] then begin
+    Printf.eprintf "check_micro: empty baseline headline in %s\n" baseline_path;
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun (key, base) ->
+      match List.assoc_opt key fresh with
+      | None ->
+          Printf.printf "  %-18s baseline %10.1f  -> MISSING from fresh run\n"
+            key base;
+          failed := true
+      | Some f ->
+          let change = (f -. base) /. base in
+          let bad = change < -.threshold in
+          Printf.printf "  %-18s baseline %10.1f  fresh %10.1f  (%+.1f%%)%s\n"
+            key base f (100.0 *. change)
+            (if bad then "  REGRESSION" else "");
+          if bad then failed := true)
+    baseline;
+  if !failed then begin
+    Printf.eprintf
+      "check_micro: sim_seconds_per_wall_second regressed by more than %.0f%%\n"
+      (100.0 *. threshold);
+    exit 1
+  end;
+  Printf.printf "check_micro: headline within %.0f%% of baseline\n"
+    (100.0 *. threshold)

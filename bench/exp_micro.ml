@@ -1,16 +1,22 @@
 (* Bechamel microbenchmarks of the simulator's hot paths: event heap
    churn, pooled-kernel schedule/fire, link admission, MI metric
-   extraction, utility evaluation, and a full simulated second of a
-   loaded bottleneck.
+   extraction, utility evaluation, and full simulated seconds of loaded
+   bottlenecks under both event kernels (heap vs timing wheel).
 
    Besides wall-clock (ns/run) this measures the minor-heap allocation
-   witness (words/run) and emits both to `BENCH_micro.json` so the perf
-   trajectory is machine-checkable across PRs. *)
+   witness (words/run). Every micro is measured [rounds] times and the
+   best (minimum) estimate is reported together with its spread
+   ((max - min) / min), so `BENCH_micro.json` deltas are trustworthy on
+   a noisy machine. The sim-second micros additionally roll up into a
+   `sim_seconds_per_wall_second` headline — the number ROADMAP item 3
+   tracks. *)
 
 open Bechamel
 module Net = Proteus_net
 module Heap = Proteus_eventsim.Heap
 module Sim = Proteus_eventsim.Sim
+
+let rounds = 9
 
 (* The heap and slot are reused across runs to exercise the steady
    state: push/pop through the SoA arrays + pop_into must not allocate. *)
@@ -88,25 +94,66 @@ let utility_test =
            ignore (Proteus.Utility.eval u m)
          done))
 
-let sim_second_test =
-  Test.make ~name:"1 sim-second, 2 flows @50Mbps"
+(* ---------- sim-second micros (the headline) ----------
+
+   Each run simulates exactly one second of a loaded bottleneck, so
+   sim-seconds-per-wall-second is 1e9 / ns_per_run. The 2-flow shape is
+   the historical baseline; the 64-flow shape approximates the item-2
+   scale-out load (many concurrent senders on a fat link). Both run
+   under each kernel: identical results (golden-tested), different
+   speed. *)
+
+(* Name of the historical 2-flow micro — keep stable across PRs so
+   committed BENCH_micro.json baselines line up. *)
+let two_flow_name kernel =
+  match kernel with
+  | Sim.Heap_kernel -> "1 sim-second, 2 flows @50Mbps"
+  | Sim.Wheel_kernel -> "1 sim-second, 2 flows @50Mbps (wheel)"
+
+let many_flow_name kernel =
+  match kernel with
+  | Sim.Heap_kernel -> "1 sim-second, 64 flows @500Mbps"
+  | Sim.Wheel_kernel -> "1 sim-second, 64 flows @500Mbps (wheel)"
+
+let two_flow_test kernel =
+  Test.make ~name:(two_flow_name kernel)
     (Staged.stage (fun () ->
          let cfg =
            Net.Link.config ~bandwidth_mbps:50.0 ~rtt_ms:30.0
              ~buffer_bytes:375_000 ()
          in
-         let r = Net.Runner.create cfg in
+         let r = Net.Runner.create ~kernel cfg in
          ignore (Net.Runner.add_flow r ~label:"a"
                    ~factory:(Proteus_cc.Cubic.factory ()));
          ignore (Net.Runner.add_flow r ~label:"b"
                    ~factory:(Proteus.Presets.proteus_s ()));
          Net.Runner.run r ~until:1.0))
 
+let many_flow_test kernel =
+  Test.make ~name:(many_flow_name kernel)
+    (Staged.stage (fun () ->
+         let cfg =
+           Net.Link.config ~bandwidth_mbps:500.0 ~rtt_ms:30.0
+             ~buffer_bytes:1_875_000 ()
+         in
+         let r = Net.Runner.create ~kernel cfg in
+         for i = 0 to 63 do
+           let factory =
+             if i land 1 = 0 then Proteus_cc.Cubic.factory ()
+             else Proteus.Presets.proteus_s ()
+           in
+           ignore (Net.Runner.add_flow r ~label:(Printf.sprintf "f%d" i) ~factory)
+         done;
+         Net.Runner.run r ~until:1.0))
+
 let tests =
   Test.make_grouped ~name:"pcc-proteus"
     [
       heap_test; sim_kernel_test; link_test; mi_test; utility_test;
-      sim_second_test;
+      two_flow_test Sim.Heap_kernel;
+      two_flow_test Sim.Wheel_kernel;
+      many_flow_test Sim.Heap_kernel;
+      many_flow_test Sim.Wheel_kernel;
     ]
 
 let estimate tbl name =
@@ -134,16 +181,55 @@ let json_num = function
   | Some v when Float.is_finite v -> Printf.sprintf "%.3f" v
   | _ -> "null"
 
+(* One measured row: best-of-[rounds] time, its relative spread across
+   rounds, and the best-of-[rounds] allocation estimate. *)
+type row = {
+  name : string;
+  ns : float option;
+  ns_spread : float option;  (* (max - min) / min across rounds *)
+  words : float option;
+}
+
+let headline_pairs rows =
+  let sim_secs name =
+    (* bechamel prefixes grouped test names with the group name *)
+    let name = "pcc-proteus/" ^ name in
+    match List.find_opt (fun r -> r.name = name) rows with
+    | Some { ns = Some ns; _ } when ns > 0.0 -> Some (1e9 /. ns)
+    | _ -> None
+  in
+  [
+    ("two_flow_heap", sim_secs (two_flow_name Sim.Heap_kernel));
+    ("two_flow_wheel", sim_secs (two_flow_name Sim.Wheel_kernel));
+    ("many_flow_heap", sim_secs (many_flow_name Sim.Heap_kernel));
+    ("many_flow_wheel", sim_secs (many_flow_name Sim.Wheel_kernel));
+  ]
+
 let emit_json rows =
   let oc = open_out "BENCH_micro.json" in
-  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-micro/1\",\n";
-  output_string oc "  \"unit\": {\"time\": \"ns/run\", \"allocs\": \"minor-words/run\"},\n";
+  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-micro/2\",\n";
+  Printf.fprintf oc "  \"code_version\": \"%s\",\n"
+    (Proteus_obs.Manifest.code_version ());
+  Printf.fprintf oc
+    "  \"unit\": {\"time\": \"ns/run\", \"allocs\": \"minor-words/run\", \
+     \"spread\": \"(max-min)/min over %d rounds\"},\n"
+    rounds;
+  output_string oc "  \"headline\": {\"sim_seconds_per_wall_second\": {";
+  List.iteri
+    (fun i (key, v) ->
+      Printf.fprintf oc "%s\"%s\": %s"
+        (if i = 0 then "" else ", ")
+        key (json_num v))
+    (headline_pairs rows);
+  output_string oc "}},\n";
   output_string oc "  \"results\": [\n";
   List.iteri
-    (fun i (name, ns, words) ->
+    (fun i r ->
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"minor_words_per_run\": %s}%s\n"
-        (json_escape name) (json_num ns) (json_num words)
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"ns_spread\": %s, \
+         \"minor_words_per_run\": %s}%s\n"
+        (json_escape r.name) (json_num r.ns) (json_num r.ns_spread)
+        (json_num r.words)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
@@ -159,34 +245,74 @@ let run () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
-  let raw = Benchmark.all cfg instances tests in
-  let results =
-    List.map (fun instance -> Analyze.all ols instance raw) instances
+  (* [rounds] independent measurement passes; each yields one OLS
+     estimate per (test, instance). *)
+  let passes =
+    List.init rounds (fun _ ->
+        let raw = Benchmark.all cfg instances tests in
+        let results =
+          List.map (fun instance -> Analyze.all ols instance raw) instances
+        in
+        let merged = Analyze.merge ols instances results in
+        ( Hashtbl.find merged (Measure.label Toolkit.Instance.monotonic_clock),
+          Hashtbl.find merged (Measure.label Toolkit.Instance.minor_allocated) ))
   in
-  let merged = Analyze.merge ols instances results in
-  let clock =
-    Hashtbl.find merged (Measure.label Toolkit.Instance.monotonic_clock)
-  in
-  let allocs =
-    Hashtbl.find merged (Measure.label Toolkit.Instance.minor_allocated)
-  in
+  let clock0 = fst (List.hd passes) in
   let names =
-    Hashtbl.fold (fun name _ acc -> name :: acc) clock []
+    Hashtbl.fold (fun name _ acc -> name :: acc) clock0 []
     |> List.sort_uniq compare
   in
+  let best xs =
+    match List.filter_map Fun.id xs with
+    | [] -> None
+    | vs -> Some (List.fold_left Float.min infinity vs)
+  in
+  let spread xs =
+    match List.filter_map Fun.id xs with
+    | [] | [ _ ] -> None
+    | vs ->
+        let lo = List.fold_left Float.min infinity vs in
+        let hi = List.fold_left Float.max neg_infinity vs in
+        if lo > 0.0 then Some ((hi -. lo) /. lo) else None
+  in
   let rows =
-    List.map (fun name -> (name, estimate clock name, estimate allocs name))
+    List.map
+      (fun name ->
+        let ns_by_round =
+          List.map (fun (clock, _) -> estimate clock name) passes
+        in
+        let words_by_round =
+          List.map (fun (_, allocs) -> estimate allocs name) passes
+        in
+        {
+          name;
+          ns = best ns_by_round;
+          ns_spread = spread ns_by_round;
+          words = best words_by_round;
+        })
       names
   in
-  Printf.printf "%-44s %14s %18s\n" "benchmark" "ns/run" "minor-words/run";
+  Printf.printf "%-44s %14s %9s %18s\n" "benchmark" "ns/run (best)" "spread"
+    "minor-words/run";
   List.iter
-    (fun (name, ns, words) ->
+    (fun r ->
       let str = function
         | Some v when Float.is_finite v -> Printf.sprintf "%.1f" v
         | _ -> "n/a"
       in
-      Printf.printf "%-44s %14s %18s\n" name (str ns) (str words))
+      let pct = function
+        | Some v when Float.is_finite v -> Printf.sprintf "%.1f%%" (100.0 *. v)
+        | _ -> "n/a"
+      in
+      Printf.printf "%-44s %14s %9s %18s\n" r.name (str r.ns) (pct r.ns_spread)
+        (str r.words))
     rows;
+  Printf.printf "\nsim_seconds_per_wall_second:\n";
+  List.iter
+    (fun (key, v) ->
+      Printf.printf "  %-16s %s\n" key
+        (match v with Some v -> Printf.sprintf "%.1f" v | None -> "n/a"))
+    (headline_pairs rows);
   emit_json rows;
   Printf.printf "\n(wrote BENCH_micro.json)\n";
   []

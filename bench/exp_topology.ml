@@ -59,7 +59,7 @@ let run_parking ~seed ~e2e =
   let dur = duration () in
   let t0 = dur /. 3.0 in
   let topo = Net.Topology.chain (List.init parking_hops (fun _ -> hop_cfg ())) in
-  let r = Net.Runner.create_topo ~seed topo in
+  let r = Net.Runner.create_topo ~seed ~kernel:!Exp_common.kernel topo in
   let _audit = Net.Runner.attach_audit r in
   let e2e_flow =
     Option.map
@@ -94,7 +94,7 @@ let run_revpath ~seed ~e2e =
   let dur = duration () in
   let t0 = dur /. 3.0 in
   let topo = Net.Topology.chain [ rev_cfg () ] in
-  let r = Net.Runner.create_topo ~seed topo in
+  let r = Net.Runner.create_topo ~seed ~kernel:!Exp_common.kernel topo in
   let _audit = Net.Runner.attach_audit r in
   let probe =
     Option.map
@@ -232,6 +232,8 @@ let json_num v =
 let emit_json rows =
   let oc = open_out "BENCH_topology.json" in
   output_string oc "{\n  \"schema\": \"pcc-proteus-bench-topology/1\",\n";
+  Printf.fprintf oc "  \"code_version\": \"%s\",\n"
+    (Proteus_obs.Manifest.code_version ());
   Printf.fprintf oc
     "  \"config\": {\"parking_hops\": %d, \"hop_bandwidth_mbps\": %g, \
      \"rev_bandwidth_mbps\": %g, \"duration_s\": %g},\n"
@@ -301,7 +303,7 @@ let smoke () =
       let topo =
         Net.Topology.chain (List.init parking_hops (fun _ -> hop_cfg ()))
       in
-      let r = Net.Runner.create_topo ~seed:11 topo in
+      let r = Net.Runner.create_topo ~seed:11 ~kernel:!Exp_common.kernel topo in
       let audit = Net.Runner.attach_audit r in
       let e2e =
         Net.Runner.add_flow r
@@ -339,7 +341,7 @@ let smoke () =
         (Net.Flow_stats.packets_lost st))
     protos;
   let topo = Net.Topology.chain [ rev_cfg () ] in
-  let r = Net.Runner.create_topo ~seed:11 topo in
+  let r = Net.Runner.create_topo ~seed:11 ~kernel:!Exp_common.kernel topo in
   let audit = Net.Runner.attach_audit r in
   let probe =
     Net.Runner.add_flow r

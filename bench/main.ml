@@ -1,13 +1,18 @@
 (* Benchmark harness: one entry per paper figure (see DESIGN.md's
    per-experiment index).
 
-   Usage:  dune exec bench/main.exe -- [--fast|--full] [--jobs N] [ids...]
+   Usage:  dune exec bench/main.exe --
+             [--fast|--full] [--jobs N] [--kernel heap|wheel] [ids...]
    ids: fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig11 fig12 fig14
         appendix theory ablation micro faults topology all (default: all)
 
    --jobs N fans independent trials/protocol runs across N domains;
    results are bit-identical to --jobs 1 (every trial owns its seeded
    RNG and par_map preserves ordering).
+
+   --kernel wheel runs every scenario on the timing-wheel event kernel
+   (A/B against the default heap kernel; same events, same order, same
+   results — see lib/eventsim/sim.mli).
 
    --trace FILE / --metrics FILE export the observability bus and a
    metrics snapshot from experiments that support per-run tracing
@@ -53,7 +58,16 @@ let usage () =
     \                 (N=0 picks the recommended domain count)\n\
     \  --trace FILE   export the trace bus (JSONL, or CSV if FILE ends\n\
     \                 in .csv) from trace-capable experiments\n\
-    \  --metrics FILE export a metrics-registry snapshot (JSON)\n"
+    \  --metrics FILE export a metrics-registry snapshot (JSON)\n\
+    \  --kernel K     event-kernel backend: heap (default) or wheel\n"
+
+let parse_kernel s =
+  match s with
+  | "heap" -> Proteus_eventsim.Sim.Heap_kernel
+  | "wheel" -> Proteus_eventsim.Sim.Wheel_kernel
+  | _ ->
+      Printf.eprintf "--kernel expects 'heap' or 'wheel', got %S\n" s;
+      exit 1
 
 let parse_jobs s =
   match int_of_string_opt s with
@@ -85,8 +99,11 @@ let () =
     | "--metrics" :: f :: rest ->
         Exp_common.metrics_file := Some f;
         parse acc rest
-    | [ ("--trace" | "--metrics") ] ->
-        Printf.eprintf "--trace/--metrics expect a file argument\n";
+    | "--kernel" :: k :: rest ->
+        Exp_common.kernel := parse_kernel k;
+        parse acc rest
+    | [ ("--trace" | "--metrics" | "--kernel") ] ->
+        Printf.eprintf "--trace/--metrics/--kernel expect an argument\n";
         exit 1
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -101,6 +118,9 @@ let () =
       ->
         Exp_common.metrics_file :=
           Some (String.sub a 10 (String.length a - 10));
+        parse acc rest
+    | a :: rest when String.length a > 9 && String.sub a 0 9 = "--kernel=" ->
+        Exp_common.kernel := parse_kernel (String.sub a 9 (String.length a - 9));
         parse acc rest
     | id :: rest -> parse (id :: acc) rest
   in

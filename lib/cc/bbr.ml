@@ -122,9 +122,8 @@ let pacing_rate t ~now =
   else base
 
 let next_send t ~now =
-  if float_of_int t.inflight >= cwnd_bytes t ~now then `Blocked
-  else if now >= t.next_send_time then `Now
-  else `At t.next_send_time
+  if float_of_int t.inflight >= cwnd_bytes t ~now then infinity
+  else t.next_send_time
 
 let on_sent t ~now ~seq ~size =
   t.inflight <- t.inflight + size;

@@ -10,7 +10,7 @@ let create ~rate_mbps (_env : Sender.env) =
 
 let name _ = "blaster"
 
-let next_send t ~now = if now >= t.next_send_time then `Now else `At t.next_send_time
+let next_send t ~now:_ = t.next_send_time
 
 let on_sent t ~now ~seq:_ ~size =
   t.next_send_time <-

@@ -50,8 +50,8 @@ let create ?(params = default) (env : Sender.env) =
 let name _ = "copa"
 let cwnd_packets t = t.cwnd
 
-let next_send t ~now:_ =
-  if float_of_int t.inflight < t.cwnd then `Now else `Blocked
+let next_send t ~now =
+  if float_of_int t.inflight < t.cwnd then now else infinity
 
 let on_sent t ~now:_ ~seq:_ ~size:_ = t.inflight <- t.inflight + 1
 

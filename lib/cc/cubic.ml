@@ -5,26 +5,28 @@ let c = 0.4
 let initial_cwnd = 10.0
 let min_cwnd = 2.0
 
+(* All-float record: gets the flat (unboxed-field) representation, so
+   the per-ACK updates store in place without boxing. [inflight] is a
+   packet count held as an integral float; [epoch_start] uses NaN for
+   "no epoch in progress". *)
 type t = {
-  mtu : int;
   mutable cwnd : float; (* packets *)
   mutable ssthresh : float;
-  mutable inflight : int; (* packets *)
+  mutable inflight : float; (* packets *)
   mutable w_max : float;
-  mutable epoch_start : float option;
+  mutable epoch_start : float; (* NaN = none *)
   mutable k : float;
   mutable srtt : float;
   mutable last_reduction : float;
 }
 
-let create (env : Sender.env) =
+let create (_ : Sender.env) =
   {
-    mtu = env.mtu;
     cwnd = initial_cwnd;
     ssthresh = infinity;
-    inflight = 0;
+    inflight = 0.0;
     w_max = 0.0;
-    epoch_start = None;
+    epoch_start = Float.nan;
     k = 0.0;
     srtt = 0.1;
     last_reduction = neg_infinity;
@@ -33,16 +35,16 @@ let create (env : Sender.env) =
 let name _ = "cubic"
 let cwnd_packets t = t.cwnd
 
-let next_send t ~now:_ =
-  if float_of_int t.inflight < t.cwnd then `Now else `Blocked
+let next_send t ~now =
+  if t.inflight < t.cwnd then now else infinity
 
-let on_sent t ~now:_ ~seq:_ ~size:_ = t.inflight <- t.inflight + 1
+let on_sent t ~now:_ ~seq:_ ~size:_ = t.inflight <- t.inflight +. 1.0
 
-let update_srtt t rtt =
+let[@inline] update_srtt t rtt =
   t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt)
 
 (* W_cubic(t) = C (t - K)^3 + W_max, with the TCP-friendly lower bound. *)
-let cubic_target t ~elapsed =
+let[@inline] cubic_target t ~elapsed =
   let w_cubic = (c *. ((elapsed -. t.k) ** 3.0)) +. t.w_max in
   let w_est =
     (t.w_max *. beta)
@@ -50,30 +52,32 @@ let cubic_target t ~elapsed =
   in
   Float.max w_cubic w_est
 
-let on_ack t ~now ~seq:_ ~send_time:_ ~size:_ ~rtt =
-  t.inflight <- max 0 (t.inflight - 1);
+let[@inline] on_ack_impl t ~now ~rtt =
+  t.inflight <- Float.max 0.0 (t.inflight -. 1.0);
   update_srtt t rtt;
   if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
   else begin
     let epoch =
-      match t.epoch_start with
-      | Some e -> e
-      | None ->
-          t.epoch_start <- Some now;
-          if t.w_max <= t.cwnd then begin
-            t.w_max <- t.cwnd;
-            t.k <- 0.0
-          end
-          else t.k <- Float.cbrt (t.w_max *. (1.0 -. beta) /. c);
-          now
+      if not (Float.is_nan t.epoch_start) then t.epoch_start
+      else begin
+        t.epoch_start <- now;
+        if t.w_max <= t.cwnd then begin
+          t.w_max <- t.cwnd;
+          t.k <- 0.0
+        end
+        else t.k <- Float.cbrt (t.w_max *. (1.0 -. beta) /. c);
+        now
+      end
     in
     let target = cubic_target t ~elapsed:(now -. epoch +. t.srtt) in
     if target > t.cwnd then t.cwnd <- t.cwnd +. ((target -. t.cwnd) /. t.cwnd)
     else t.cwnd <- t.cwnd +. (0.01 /. t.cwnd)
   end
 
-let on_loss t ~now ~seq:_ ~send_time:_ ~size:_ =
-  t.inflight <- max 0 (t.inflight - 1);
+let on_ack t ~now ~seq:_ ~send_time:_ ~size:_ ~rtt = on_ack_impl t ~now ~rtt
+
+let[@inline] on_loss_impl t ~now =
+  t.inflight <- Float.max 0.0 (t.inflight -. 1.0);
   (* One multiplicative decrease per RTT: later losses of the same
      window event are absorbed. *)
   if now -. t.last_reduction > t.srtt then begin
@@ -83,11 +87,16 @@ let on_loss t ~now ~seq:_ ~send_time:_ ~size:_ =
     else t.w_max <- t.cwnd;
     t.cwnd <- Float.max min_cwnd (t.cwnd *. beta);
     t.ssthresh <- Float.max min_cwnd t.cwnd;
-    t.epoch_start <- None
+    t.epoch_start <- Float.nan
   end
 
+let on_loss t ~now ~seq:_ ~send_time:_ ~size:_ = on_loss_impl t ~now
+
+(* Native Sender.S_meta instance: the hot entry points read/write the
+   caller's scratch array directly (see Sender.S_meta for the layout),
+   so per-packet cubic calls box no floats. *)
 let factory () : Proteus_net.Sender.factory =
- fun env -> Sender.pack (module struct
+ fun env -> Sender.pack_meta (module struct
    type nonrec t = t
 
    let name = name
@@ -95,4 +104,14 @@ let factory () : Proteus_net.Sender.factory =
    let on_sent = on_sent
    let on_ack = on_ack
    let on_loss = on_loss
+
+   let next_send_m t ~meta =
+     meta.(3) <- (if t.inflight < t.cwnd then meta.(0) else infinity)
+
+   let on_sent_m t ~meta:_ ~seq:_ ~size:_ = t.inflight <- t.inflight +. 1.0
+
+   let on_ack_m t ~meta ~seq:_ ~size:_ =
+     on_ack_impl t ~now:meta.(0) ~rtt:meta.(2)
+
+   let on_loss_m t ~meta ~seq:_ ~size:_ = on_loss_impl t ~now:meta.(0)
  end) (create env)

@@ -41,8 +41,8 @@ let name t =
 let cwnd_packets t = t.cwnd
 let base_delay t = List.fold_left Float.min infinity t.base_buckets
 
-let next_send t ~now:_ =
-  if float_of_int t.inflight < t.cwnd then `Now else `Blocked
+let next_send t ~now =
+  if float_of_int t.inflight < t.cwnd then now else infinity
 
 let on_sent t ~now:_ ~seq:_ ~size:_ = t.inflight <- t.inflight + 1
 

@@ -10,56 +10,58 @@ module Ewma = Proteus_stats.Ewma
    compression burst) without that failure mode. *)
 let max_filter_duration = 0.1
 
+(* Mutable float state lives in a float array (NaN = absent) rather
+   than in option-typed record fields: the filter runs once per ACK, and
+   a mixed record would box every float store. Slots: 0 = last ACK
+   arrival time, 1 = last interarrival interval, 2 = time the discard
+   state engaged (NaN when not filtering). *)
 type t = {
   ratio_threshold : float;
   rtt_avg : Ewma.t;
-  mutable last_ack_time : float option;
-  mutable last_interval : float option;
-  mutable filtering : bool;
-  mutable filter_started : float;
+  st : float array;
 }
 
 let create ?(ratio_threshold = 50.0) () =
   {
     ratio_threshold;
     rtt_avg = Ewma.create ~alpha:0.125;
-    last_ack_time = None;
-    last_interval = None;
-    filtering = false;
-    filter_started = 0.0;
+    st = [| Float.nan; Float.nan; Float.nan |];
   }
 
-let is_filtering t = t.filtering
+let is_filtering t = not (Float.is_nan t.st.(2))
 
-let interval_ratio a b =
+let[@inline] interval_ratio a b =
   if a <= 0.0 || b <= 0.0 then 1.0 else Float.max (a /. b) (b /. a)
 
-let filter t ~now ~rtt =
-  let interval =
-    match t.last_ack_time with Some prev -> Some (now -. prev) | None -> None
-  in
-  (match (interval, t.last_interval) with
-  | Some cur, Some prev when interval_ratio cur prev > t.ratio_threshold ->
-      if not t.filtering then begin
-        t.filtering <- true;
-        t.filter_started <- now
-      end
-  | _ -> ());
-  t.last_interval <- interval;
-  t.last_ack_time <- Some now;
-  if t.filtering then begin
-    let below_avg =
-      match Ewma.value t.rtt_avg with Some avg -> rtt < avg | None -> true
-    in
-    if below_avg || now -. t.filter_started > max_filter_duration then begin
+(* Returns the accepted sample, or NaN when it is filtered out. *)
+let[@inline] filter_rtt t ~now ~rtt =
+  let prev_ack = t.st.(0) in
+  let prev_interval = t.st.(1) in
+  let interval = if Float.is_nan prev_ack then Float.nan else now -. prev_ack in
+  (* NaN comparisons are false, so the trip test only fires when both
+     intervals exist — same guard as the original option match. *)
+  if
+    interval_ratio interval prev_interval > t.ratio_threshold
+    && Float.is_nan t.st.(2)
+  then t.st.(2) <- now;
+  t.st.(1) <- interval;
+  t.st.(0) <- now;
+  if not (Float.is_nan t.st.(2)) then begin
+    let avg = Ewma.value_nan t.rtt_avg in
+    let below_avg = Float.is_nan avg || rtt < avg in
+    if below_avg || now -. t.st.(2) > max_filter_duration then begin
       (* Channel back to normal (or bound exceeded): resume. *)
-      t.filtering <- false;
+      t.st.(2) <- Float.nan;
       Ewma.update t.rtt_avg rtt;
-      Some rtt
+      rtt
     end
-    else None
+    else Float.nan
   end
   else begin
     Ewma.update t.rtt_avg rtt;
-    Some rtt
+    rtt
   end
+
+let filter t ~now ~rtt =
+  let sample = filter_rtt t ~now ~rtt in
+  if Float.is_nan sample then None else Some sample

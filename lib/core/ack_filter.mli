@@ -17,5 +17,9 @@ val filter : t -> now:float -> rtt:float -> float option
     used, [None] if it is filtered out. Must be called for every ACK in
     arrival order. *)
 
+val filter_rtt : t -> now:float -> rtt:float -> float
+(** Allocation-free variant of {!filter}: returns the accepted sample,
+    or [Float.nan] when it is filtered out. *)
+
 val is_filtering : t -> bool
 (** Whether the filter is currently in the discard state (tests). *)

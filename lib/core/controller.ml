@@ -90,23 +90,31 @@ type t = {
   rng : Rng.t;
   mtu : int;
   trace : Trace.t;
-  mutable rate : float; (* base rate, bytes/s *)
+  (* Unboxed float state. Mutable float fields in this mixed record
+     would box on every store, and three of these are stored per packet
+     or per ACK. Slots: 0 = base rate (bytes/s), 1 = current MI
+     deadline, 2 = pacing rate (bytes/s), 3 = srtt, 4 = next send time,
+     5 = cached now, 6 = yield-hold expiry. *)
+  fl : float array;
   mutable phase : phase;
   mutable epoch_counter : int;
   mutable last_start_sample : (float * float) option; (* rate, utility *)
   planned : (float * tag) Queue.t;
   mutable current_mi : (Mi.t * tag) option;
-  mutable current_deadline : float;
-  mutable pacing_rate : float;
-  mi_of_seq : (int, Mi.t * tag) Hashtbl.t;
+  (* In-flight seq -> (MI, tag), as a power-of-two direct-mapped table:
+     slot = seq land (cap - 1), seqs.(i) = -1 marks an empty slot. Live
+     seqs span one congestion window, far fewer than the capacity, so
+     collisions are rare; on collision the table doubles until the live
+     set maps injectively (distinct ints always separate under a wide
+     enough mask). Replaces a per-packet Hashtbl on the ACK hot path. *)
+  mutable sm_seqs : int array;
+  mutable sm_mis : Mi.t array;
+  mutable sm_tags : tag array;
+  sm_dummy : Mi.t;
   pending_results : (int, tag * Mi.metrics) Hashtbl.t;
   mutable next_mi_id : int;
   mutable next_result_id : int;
   mutable completed_mis : int;
-  mutable srtt : float;
-  mutable next_send_time : float;
-  mutable now_cache : float;
-  mutable hold_until : float;
   mutable observer :
     (now:float -> Mi.metrics -> utility:float -> rate_mbps:float -> unit)
     option;
@@ -117,6 +125,7 @@ let max_rate t = Units.mbps_to_bytes_per_sec t.config.max_rate_mbps
 let clamp_rate t r = Float.min (max_rate t) (Float.max (min_rate t) r)
 
 let create (config : config) (env : Sender.env) =
+  let sm_dummy = Mi.create ~id:(-1) ~target_rate:1.0 ~start_time:0.0 in
   {
     utility = config.utility;
     config;
@@ -126,23 +135,22 @@ let create (config : config) (env : Sender.env) =
     rng = env.rng;
     mtu = env.mtu;
     trace = env.trace;
-    rate = Units.mbps_to_bytes_per_sec config.initial_rate_mbps;
+    fl =
+      (let r0 = Units.mbps_to_bytes_per_sec config.initial_rate_mbps in
+       [| r0; 0.0; r0; 0.05; 0.0; 0.0; neg_infinity |]);
     phase = Starting;
     epoch_counter = 0;
     last_start_sample = None;
     planned = Queue.create ();
     current_mi = None;
-    current_deadline = 0.0;
-    pacing_rate = Units.mbps_to_bytes_per_sec config.initial_rate_mbps;
-    mi_of_seq = Hashtbl.create 256;
+    sm_seqs = Array.make 256 (-1);
+    sm_mis = Array.make 256 sm_dummy;
+    sm_tags = Array.make 256 Start;
+    sm_dummy;
     pending_results = Hashtbl.create 16;
     next_mi_id = 0;
     next_result_id = 0;
     completed_mis = 0;
-    srtt = 0.05;
-    next_send_time = 0.0;
-    now_cache = 0.0;
-    hold_until = neg_infinity;
     observer = None;
   }
 
@@ -159,7 +167,7 @@ let set_utility t u =
   t.phase <- Starting;
   t.last_start_sample <- None
 let utility_name t = Utility.name t.utility
-let rate_mbps t = Units.bytes_per_sec_to_mbps t.rate
+let rate_mbps t = Units.bytes_per_sec_to_mbps t.fl.(0)
 let mi_count t = t.completed_mis
 let set_mi_observer t f = t.observer <- f
 
@@ -174,16 +182,16 @@ let plan_probing t =
   in
   let eps = t.config.epsilon in
   for pair = 0 to npairs - 1 do
-    let hi = (t.rate *. (1.0 +. eps), Probe { epoch; pair; up = true }) in
-    let lo = (t.rate *. (1.0 -. eps), Probe { epoch; pair; up = false }) in
+    let hi = (t.fl.(0) *. (1.0 +. eps), Probe { epoch; pair; up = true }) in
+    let lo = (t.fl.(0) *. (1.0 -. eps), Probe { epoch; pair; up = false }) in
     let first, second = if Rng.bool t.rng then (hi, lo) else (lo, hi) in
     Queue.add first t.planned;
     Queue.add second t.planned
   done;
-  t.phase <- Probing { epoch; base_rate = t.rate; npairs; probe_results = [] }
+  t.phase <- Probing { epoch; base_rate = t.fl.(0); npairs; probe_results = [] }
 
 let enter_probing t ~at_rate =
-  t.rate <- clamp_rate t at_rate;
+  t.fl.(0) <- clamp_rate t at_rate;
   t.last_start_sample <- None;
   plan_probing t
 
@@ -197,7 +205,7 @@ let plan_move t mv_epoch ~rate =
    conservatively after yielding, so that bursty foreground traffic
    (web object waves, video chunks) is not re-taxed at every burst. *)
 let step_bytes t ~k ~dir ~gradient =
-  let rate_mbps = Units.bytes_per_sec_to_mbps t.rate in
+  let rate_mbps = Units.bytes_per_sec_to_mbps t.fl.(0) in
   let amplifier = Float.min (2.0 ** float_of_int (k - 1)) 32.0 in
   let raw = amplifier *. Float.abs gradient (* Mbps *) in
   let cap = if dir > 0.0 then t.config.max_swing_up else 0.5 in
@@ -218,11 +226,11 @@ let handle_start_result t ~rate_trialled ~u =
   | Some (prev_rate, prev_u) ->
       if rate_trialled > prev_rate || u > prev_u then
         t.last_start_sample <- Some (rate_trialled, u);
-      if t.rate <= rate_trialled *. 2.0 then
-        t.rate <- clamp_rate t (rate_trialled *. 2.0)
+      if t.fl.(0) <= rate_trialled *. 2.0 then
+        t.fl.(0) <- clamp_rate t (rate_trialled *. 2.0)
   | None ->
       t.last_start_sample <- Some (rate_trialled, u);
-      t.rate <- clamp_rate t (rate_trialled *. 2.0)
+      t.fl.(0) <- clamp_rate t (rate_trialled *. 2.0)
 
 let direction_of_pair results pair =
   let find up = List.find_opt (fun (p, u_, _) -> p = pair && u_ = up) results in
@@ -265,14 +273,14 @@ let handle_probe_result t (ps : probing_state) ~pair ~up ~u =
   match decide_direction t ps with
   | None -> ()
   | Some 0 ->
-      t.rate <- clamp_rate t ps.base_rate;
+      t.fl.(0) <- clamp_rate t ps.base_rate;
       plan_probing t
-  | Some 1 when t.now_cache < t.hold_until ->
+  | Some 1 when t.fl.(5) < t.fl.(6) ->
       (* Recently yielded to a deviation signal: hold the rate down for
          a while instead of immediately re-probing upward, so bursty
          foreground traffic (web object waves, video chunks) is not
          re-taxed at every burst. *)
-      t.rate <- clamp_rate t ps.base_rate;
+      t.fl.(0) <- clamp_rate t ps.base_rate;
       plan_probing t
   | Some dir_int ->
       let dir = float_of_int dir_int in
@@ -290,12 +298,12 @@ let handle_probe_result t (ps : probing_state) ~pair ~up ~u =
         List.fold_left ( +. ) 0.0 us /. float_of_int (List.length us)
       in
       if dir_int < 0 then
-        t.hold_until <- t.now_cache +. t.config.yield_hold;
+        t.fl.(6) <- t.fl.(5) +. t.config.yield_hold;
       t.epoch_counter <- t.epoch_counter + 1;
       let epoch = t.epoch_counter in
       let step = step_bytes t ~k:1 ~dir ~gradient in
       let new_rate = clamp_rate t (prev_rate +. (dir *. step)) in
-      t.rate <- new_rate;
+      t.fl.(0) <- new_rate;
       plan_move t epoch ~rate:new_rate;
       t.phase <- Moving { epoch; dir; k = 1; gradient; prev_rate; prev_utility }
 
@@ -315,7 +323,7 @@ let handle_move_result t ~rate_trialled ~u =
         let new_rate = clamp_rate t (rate_trialled +. (mv.dir *. step)) in
         if new_rate = rate_trialled then enter_probing t ~at_rate:rate_trialled
         else begin
-          t.rate <- new_rate;
+          t.fl.(0) <- new_rate;
           plan_move t mv.epoch ~rate:new_rate
         end
       end
@@ -328,13 +336,13 @@ let handle_result t tag (m : Mi.metrics) =
      (each would box a [Some] cell, and [~now] a float, per MI). *)
   let u =
     if Trace.enabled t.trace then
-      Utility.eval ~trace:t.trace ~now:t.now_cache t.utility m
+      Utility.eval ~trace:t.trace ~now:t.fl.(5) t.utility m
     else Utility.eval t.utility m
   in
   (match t.observer with
   | Some f ->
-      f ~now:t.now_cache m ~utility:u
-        ~rate_mbps:(Units.bytes_per_sec_to_mbps t.rate)
+      f ~now:t.fl.(5) m ~utility:u
+        ~rate_mbps:(Units.bytes_per_sec_to_mbps t.fl.(0))
   | None -> ());
   let rate_trialled = Units.mbps_to_bytes_per_sec m.Mi.target_rate_mbps in
   (match (t.phase, tag) with
@@ -345,9 +353,9 @@ let handle_result t tag (m : Mi.metrics) =
       handle_move_result t ~rate_trialled ~u
   | _, (Start | Probe _ | Move _ | Filler) -> ());
   if Trace.enabled t.trace then
-    Trace.emit t.trace ~time:t.now_cache ~kind:Trace.Rate_decision ~flow:(-1)
+    Trace.emit t.trace ~time:t.fl.(5) ~kind:Trace.Rate_decision ~flow:(-1)
       ~seq:t.completed_mis ~a:u
-      ~b:(Units.bytes_per_sec_to_mbps t.rate)
+      ~b:(Units.bytes_per_sec_to_mbps t.fl.(0))
       ~note:(tag_name tag)
 
 let process_pending t =
@@ -373,7 +381,7 @@ let check_complete t mi tag = if Mi.is_complete mi then complete_mi t mi tag
 let mi_duration t ~rate =
   let jitter = 1.0 +. (0.1 *. Rng.float t.rng 1.0) in
   let min_pkts = 5.0 in
-  Float.max (t.srtt *. jitter) (min_pkts *. float_of_int t.mtu /. rate)
+  Float.max (t.fl.(3) *. jitter) (min_pkts *. float_of_int t.mtu /. rate)
 
 let close_current t ~now =
   match t.current_mi with
@@ -400,72 +408,150 @@ let close_current t ~now =
 let start_new_mi t ~now =
   let rate, tag =
     if Queue.is_empty t.planned then
-      (t.rate, match t.phase with Starting -> Start | _ -> Filler)
+      (t.fl.(0), match t.phase with Starting -> Start | _ -> Filler)
     else Queue.pop t.planned
   in
   let rate = clamp_rate t rate in
   let mi = Mi.create ~id:t.next_mi_id ~target_rate:rate ~start_time:now in
   t.next_mi_id <- t.next_mi_id + 1;
   t.current_mi <- Some (mi, tag);
-  t.current_deadline <- now +. mi_duration t ~rate;
-  t.pacing_rate <- rate
+  t.fl.(1) <- now +. mi_duration t ~rate;
+  t.fl.(2) <- rate
 
-let ensure_current_mi t ~now =
+let[@inline] ensure_current_mi t ~now =
   (match t.current_mi with
-  | Some _ when now < t.current_deadline -> ()
+  | Some _ when now < t.fl.(1) -> ()
   | Some _ ->
       close_current t ~now;
       start_new_mi t ~now
   | None -> start_new_mi t ~now);
-  match t.current_mi with Some (mi, tag) -> (mi, tag) | None -> assert false
+  (* Return the stored pair itself — rebuilding [(mi, tag)] here would
+     allocate a fresh tuple on every poll and every send. *)
+  match t.current_mi with Some p -> p | None -> assert false
 
-let close_if_expired t ~now =
+let[@inline] close_if_expired t ~now =
   match t.current_mi with
-  | Some _ when now >= t.current_deadline -> close_current t ~now
+  | Some _ when now >= t.fl.(1) -> close_current t ~now
   | _ -> ()
+
+(* ---------- in-flight seq map ---------- *)
+
+let sm_rehash t n =
+  let mask = n - 1 in
+  let seqs = Array.make n (-1) in
+  let mis = Array.make n t.sm_dummy in
+  let tags = Array.make n Start in
+  let ok = ref true in
+  let old_seqs = t.sm_seqs in
+  Array.iteri
+    (fun j k ->
+      if k >= 0 && !ok then begin
+        let i = k land mask in
+        if seqs.(i) = -1 then begin
+          seqs.(i) <- k;
+          mis.(i) <- t.sm_mis.(j);
+          tags.(i) <- t.sm_tags.(j)
+        end
+        else ok := false
+      end)
+    old_seqs;
+  if !ok then begin
+    t.sm_seqs <- seqs;
+    t.sm_mis <- mis;
+    t.sm_tags <- tags
+  end;
+  !ok
+
+let sm_grow t =
+  let n = ref (Array.length t.sm_seqs * 2) in
+  while not (sm_rehash t !n) do
+    n := !n * 2
+  done
+
+let rec sm_store t seq mi tag =
+  let i = seq land (Array.length t.sm_seqs - 1) in
+  let k = t.sm_seqs.(i) in
+  if k = seq || k = -1 then begin
+    t.sm_seqs.(i) <- seq;
+    t.sm_mis.(i) <- mi;
+    t.sm_tags.(i) <- tag
+  end
+  else begin
+    sm_grow t;
+    sm_store t seq mi tag
+  end
 
 (* ---------- Sender.S ---------- *)
 
 let next_send t ~now =
   ignore (ensure_current_mi t ~now);
-  if now >= t.next_send_time then `Now else `At t.next_send_time
+  t.fl.(4)
 
 let on_sent t ~now ~seq ~size =
   let mi, tag = ensure_current_mi t ~now in
   Mi.record_sent mi ~size;
-  Hashtbl.replace t.mi_of_seq seq (mi, tag);
-  t.next_send_time <-
-    Float.max now t.next_send_time +. (float_of_int size /. t.pacing_rate)
+  sm_store t seq mi tag;
+  t.fl.(4) <-
+    Float.max now t.fl.(4) +. (float_of_int size /. t.fl.(2))
 
-let on_ack t ~now ~seq ~send_time ~size:_ ~rtt =
-  t.now_cache <- now;
-  t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt);
+let[@inline] on_ack_impl t ~now ~seq ~send_time ~rtt =
+  t.fl.(5) <- now;
+  t.fl.(3) <- (0.875 *. t.fl.(3)) +. (0.125 *. rtt);
   let sample =
     match t.ack_filter with
-    | Some f -> Ack_filter.filter f ~now ~rtt
-    | None -> Some rtt
+    | Some f -> Ack_filter.filter_rtt f ~now ~rtt
+    | None -> rtt
   in
   close_if_expired t ~now;
-  (match Hashtbl.find_opt t.mi_of_seq seq with
-  | Some (mi, tag) ->
-      Hashtbl.remove t.mi_of_seq seq;
-      Mi.record_ack mi ~send_time ~rtt:sample;
-      check_complete t mi tag
-  | None -> ())
+  let i = seq land (Array.length t.sm_seqs - 1) in
+  if t.sm_seqs.(i) = seq then begin
+    let mi = t.sm_mis.(i) and tag = t.sm_tags.(i) in
+    t.sm_seqs.(i) <- -1;
+    t.sm_mis.(i) <- t.sm_dummy;
+    Mi.record_ack_sample mi ~send_time ~rtt:sample;
+    check_complete t mi tag
+  end
 
-let on_loss t ~now ~seq ~send_time:_ ~size:_ =
-  t.now_cache <- now;
+let on_ack t ~now ~seq ~send_time ~size:_ ~rtt =
+  on_ack_impl t ~now ~seq ~send_time ~rtt
+
+let[@inline] on_loss_impl t ~now ~seq =
+  t.fl.(5) <- now;
   close_if_expired t ~now;
-  match Hashtbl.find_opt t.mi_of_seq seq with
-  | Some (mi, tag) ->
-      Hashtbl.remove t.mi_of_seq seq;
-      Mi.record_loss mi;
-      check_complete t mi tag
-  | None -> ()
+  let i = seq land (Array.length t.sm_seqs - 1) in
+  if t.sm_seqs.(i) = seq then begin
+    let mi = t.sm_mis.(i) and tag = t.sm_tags.(i) in
+    t.sm_seqs.(i) <- -1;
+    t.sm_mis.(i) <- t.sm_dummy;
+    Mi.record_loss mi;
+    check_complete t mi tag
+  end
+
+let on_loss t ~now ~seq ~send_time:_ ~size:_ = on_loss_impl t ~now ~seq
+
+(* Native Sender.S_meta entry points (scratch layout: 0 = now,
+   1 = send_time, 2 = rtt, 3 = next-send result). All four read [meta]
+   directly and share [@inline] bodies with the boxed entry points, so
+   no float is boxed at the call boundary on either protocol. *)
+let next_send_m t ~meta =
+  ignore (ensure_current_mi t ~now:meta.(0));
+  meta.(3) <- t.fl.(4)
+
+let on_sent_m t ~meta ~seq ~size =
+  let now = meta.(0) in
+  let mi, tag = ensure_current_mi t ~now in
+  Mi.record_sent mi ~size;
+  sm_store t seq mi tag;
+  t.fl.(4) <- Float.max now t.fl.(4) +. (float_of_int size /. t.fl.(2))
+
+let on_ack_m t ~meta ~seq ~size:_ =
+  on_ack_impl t ~now:meta.(0) ~seq ~send_time:meta.(1) ~rtt:meta.(2)
+
+let on_loss_m t ~meta ~seq ~size:_ = on_loss_impl t ~now:meta.(0) ~seq
 
 let factory config : Proteus_net.Sender.factory =
  fun env ->
-  Sender.pack (module struct
+  Sender.pack_meta (module struct
     type nonrec t = t
 
     let name = name
@@ -473,4 +559,8 @@ let factory config : Proteus_net.Sender.factory =
     let on_sent = on_sent
     let on_ack = on_ack
     let on_loss = on_loss
+    let next_send_m = next_send_m
+    let on_sent_m = on_sent_m
+    let on_ack_m = on_ack_m
+    let on_loss_m = on_loss_m
   end) (create config env)

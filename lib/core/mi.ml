@@ -47,17 +47,20 @@ let id t = t.id
 let target_rate t = t.target_rate
 let start_time t = t.start_time
 
-let record_sent t ~size =
+let[@inline] record_sent t ~size =
   t.sent <- t.sent + 1;
   t.sent_bytes <- t.sent_bytes + size
 
-let record_ack t ~send_time ~rtt =
+let[@inline] record_ack_sample t ~send_time ~rtt =
   t.acked <- t.acked + 1;
-  match rtt with
-  | Some r ->
-      Fvec.push t.send_times send_time;
-      Fvec.push t.rtts r
-  | None -> ()
+  if not (Float.is_nan rtt) then begin
+    Fvec.push t.send_times send_time;
+    Fvec.push t.rtts rtt
+  end
+
+let record_ack t ~send_time ~rtt =
+  record_ack_sample t ~send_time
+    ~rtt:(match rtt with Some r -> r | None -> Float.nan)
 
 let record_loss t = t.lost <- t.lost + 1
 

@@ -37,6 +37,10 @@ val record_ack : t -> send_time:float -> rtt:float option -> unit
 (** [rtt = None] when the per-ACK noise filter discarded the sample:
     the packet still counts for completion and loss accounting. *)
 
+val record_ack_sample : t -> send_time:float -> rtt:float -> unit
+(** Allocation-free {!record_ack}: [rtt = Float.nan] marks a filtered
+    sample. *)
+
 val record_loss : t -> unit
 
 val close : t -> end_time:float -> unit

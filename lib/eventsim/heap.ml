@@ -18,7 +18,7 @@ let make_slot ~time payload = { time; payload }
 let create () =
   { times = [||]; orders = [||]; payloads = [||]; size = 0; next_order = 0 }
 
-let is_empty t = t.size = 0
+let[@inline] is_empty t = t.size = 0
 let length t = t.size
 
 (* Grow all three arrays; [payload] seeds the fresh payload cells (the
@@ -42,10 +42,9 @@ let ensure_capacity t payload =
    into the hole (one triple-store per level instead of a triple-swap),
    writing the element once at its final position. *)
 
-let push t ~time payload =
+(* Core insert with the tie-break order supplied by the caller. *)
+let push_with t ~time ~ord payload =
   ensure_capacity t payload;
-  let ord = t.next_order in
-  t.next_order <- ord + 1;
   let times = t.times and orders = t.orders and payloads = t.payloads in
   let i = ref t.size in
   t.size <- t.size + 1;
@@ -64,6 +63,15 @@ let push t ~time payload =
   Array.unsafe_set times !i time;
   Array.unsafe_set orders !i ord;
   Array.unsafe_set payloads !i payload
+
+let push t ~time payload =
+  let ord = t.next_order in
+  t.next_order <- ord + 1;
+  push_with t ~time ~ord payload
+
+let push_ord t ~time ~order payload =
+  if order >= t.next_order then t.next_order <- order + 1;
+  push_with t ~time ~ord:order payload
 
 (* Sink the element currently at [start] to its place. *)
 let sift_down t start =
@@ -104,13 +112,17 @@ let sift_down t start =
   Array.unsafe_set orders !i ord;
   Array.unsafe_set payloads !i payload
 
-let top_time t =
+let[@inline] top_time t =
   if t.size = 0 then invalid_arg "Heap.top_time: empty heap";
   t.times.(0)
 
-let top t =
+let[@inline] top t =
   if t.size = 0 then invalid_arg "Heap.top: empty heap";
   t.payloads.(0)
+
+let[@inline] top_order t =
+  if t.size = 0 then invalid_arg "Heap.top_order: empty heap";
+  t.orders.(0)
 
 let remove_top t =
   if t.size = 0 then invalid_arg "Heap.remove_top: empty heap";

@@ -20,8 +20,19 @@ val push : 'a t -> time:float -> 'a -> unit
 (** Insert a payload keyed by [time]. Amortised O(log n), allocation
     free except when the backing arrays grow. *)
 
+val push_ord : 'a t -> time:float -> order:int -> 'a -> unit
+(** Like {!push} but with a caller-supplied tie-break counter — used
+    when the heap is one of several event sources merged under a
+    global sequence ordering. The internal counter is advanced past
+    [order], so mixing {!push} and {!push_ord} keeps ties exact as
+    long as caller-supplied orders are themselves increasing. *)
+
 val top_time : 'a t -> float
 (** Time of the earliest event. @raise Invalid_argument when empty. *)
+
+val top_order : 'a t -> int
+(** Tie-break counter of the earliest event.
+    @raise Invalid_argument when empty. *)
 
 val top : 'a t -> 'a
 (** Payload of the earliest event. @raise Invalid_argument when empty. *)

@@ -1,14 +1,32 @@
-(* Event kernel with a free-list event pool.
+(* Event kernel with a free-list event pool and pluggable scheduling
+   backends.
 
    Every scheduled event occupies a pooled cell: a reusable callback
    [int -> unit] plus an unboxed [int] argument, both held in parallel
-   arrays indexed by the cell id. The heap stores only the id, so the
+   arrays indexed by the cell id. The schedule stores only ids, so the
    steady-state schedule/fire cycle allocates nothing — a recycled cell
    is reused instead of allocating a record + closure pair.
 
    Plain thunks ([unit -> unit], the {!at}/{!after} interface) are
    stored in a parallel [thunks] array and dispatched through a single
-   per-sim trampoline, so they ride the same pooled machinery. *)
+   per-sim trampoline, so they ride the same pooled machinery.
+
+   Ordering. Every event — whichever backend holds it — carries a
+   global sequence number assigned at scheduling time. The run loop
+   picks the source (heap / wheel / lane) with the lexicographically
+   smallest [(time, seq)], so equal-time events fire in scheduling
+   order no matter where they live, and the heap-only configuration
+   fires in exactly the order the single-heap kernel did.
+
+   Backends. The SoA binary {!Heap} is always present and is the only
+   home of cancellable events and thunks. Under [Wheel_kernel], the
+   [at_fn] fast path routes near-future events into a hierarchical
+   timing {!Wheel} (O(1) instead of O(log n)), and callers with
+   per-source FIFO event streams (e.g. one per network link) can push
+   into {e lanes}: SoA ring buffers consumed directly by the run loop,
+   skipping the cell pool entirely. A lane push whose time would break
+   the lane's monotonicity falls back to the wheel/heap, so lanes are
+   an optimisation, never a semantic constraint. *)
 
 let noop_fn (_ : int) = ()
 let noop_thunk () = ()
@@ -18,9 +36,35 @@ let st_free = '\000'
 let st_live = '\001'
 let st_cancelled = '\002'
 
+type kernel = Heap_kernel | Wheel_kernel
+
+(* Per-lane SoA ring buffer. The tail entry's time (the most recently
+   pushed) is the monotonicity bound for the next push. *)
+type lane_buf = {
+  mutable lt : float array; (* fire times *)
+  mutable lq : int array; (* global sequence numbers *)
+  mutable lfn : (int -> unit) array;
+  mutable larg : int array;
+  mutable head : int;
+  mutable len : int;
+}
+
+type lane = int
+
 type t = {
-  mutable clock : float;
+  (* Unboxed float scratch: fl.(0) is the virtual clock, fl.(1) the
+     run loop's best-candidate time. A plain mutable float field in
+     this (mixed) record would box on every store; a float array does
+     not. *)
+  fl : float array;
+  use_wheel : bool;
+  wheel : Wheel.t;
+  wheel_horizon : float;
   queue : int Heap.t; (* payload = event cell id *)
+  mutable lanes : lane_buf array;
+  mutable n_lanes : int;
+  mutable lane_total : int; (* entries across all lanes *)
+  mutable next_seq : int; (* global event sequence number *)
   mutable fns : (int -> unit) array;
   mutable args : int array;
   mutable thunks : (unit -> unit) array;
@@ -30,8 +74,12 @@ type t = {
   mutable free_len : int;
   mutable dead : int; (* cancelled events still sitting in the heap *)
   mutable trampoline : int -> unit;
+  (* Run-loop scratch (see fl above for the float half). *)
+  mutable sc_seq : int;
+  mutable sc_src : int; (* -1 none, 0 heap, 1 wheel, 2+i lane i *)
   (* Observability counters: plain int bumps, always on (two or three
      integer stores per event — cheap enough not to gate). *)
+  mutable n_queued : int; (* entries across heap + wheel + lanes *)
   mutable n_scheduled : int;
   mutable n_fired : int;
   mutable max_queued : int;
@@ -39,11 +87,24 @@ type t = {
 
 type cancel = { sim : t; id : int; gen : int }
 
-let create () =
+let create ?(kernel = Heap_kernel) () =
+  let use_wheel = kernel = Wheel_kernel in
+  (* The heap-only kernel still carries a (tiny, inert) wheel so the
+     record needs no option and the counters read as zero. *)
+  let wheel =
+    if use_wheel then Wheel.create () else Wheel.create ~slots:2 ()
+  in
   let t =
     {
-      clock = 0.0;
+      fl = Array.make 2 0.0;
+      use_wheel;
+      wheel;
+      wheel_horizon = (if use_wheel then Wheel.horizon wheel else 0.0);
       queue = Heap.create ();
+      lanes = [||];
+      n_lanes = 0;
+      lane_total = 0;
+      next_seq = 0;
       fns = [||];
       args = [||];
       thunks = [||];
@@ -53,6 +114,9 @@ let create () =
       free_len = 0;
       dead = 0;
       trampoline = noop_fn;
+      sc_seq = 0;
+      sc_src = -1;
+      n_queued = 0;
       n_scheduled = 0;
       n_fired = 0;
       max_queued = 0;
@@ -61,7 +125,13 @@ let create () =
   t.trampoline <- (fun id -> t.thunks.(id) ());
   t
 
-let now t = t.clock
+let kernel t = if t.use_wheel then Wheel_kernel else Heap_kernel
+let[@inline] now t = t.fl.(0)
+
+let[@inline] reserve_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
 
 let grow_pool t =
   let cap = Array.length t.args in
@@ -89,60 +159,161 @@ let grow_pool t =
 let alloc_cell t =
   if t.free_len = 0 then grow_pool t;
   t.free_len <- t.free_len - 1;
-  let id = t.free.(t.free_len) in
+  let id = Array.unsafe_get t.free t.free_len in
   Bytes.unsafe_set t.state id st_live;
-  t.n_scheduled <- t.n_scheduled + 1;
-  let q = Heap.length t.queue + 1 in
-  if q > t.max_queued then t.max_queued <- q;
   id
 
 (* Return a cell to the free list. Clears the callback slots so the
    pool does not retain the handler closures, and bumps the generation
-   so outstanding cancel handles become inert. *)
+   so outstanding cancel handles become inert. Cell ids are always in
+   pool bounds by construction, so the stores are unchecked. *)
 let release_cell t id =
-  t.fns.(id) <- noop_fn;
-  t.thunks.(id) <- noop_thunk;
+  Array.unsafe_set t.fns id noop_fn;
+  Array.unsafe_set t.thunks id noop_thunk;
   Bytes.unsafe_set t.state id st_free;
-  t.gens.(id) <- t.gens.(id) + 1;
-  t.free.(t.free_len) <- id;
+  Array.unsafe_set t.gens id (Array.unsafe_get t.gens id + 1);
+  Array.unsafe_set t.free t.free_len id;
   t.free_len <- t.free_len + 1
 
-let at_fn t ~time ~fn ~arg =
-  let time = if time < t.clock then t.clock else time in
+let note_scheduled t =
+  t.n_scheduled <- t.n_scheduled + 1;
+  let q = t.n_queued + 1 in
+  t.n_queued <- q;
+  if q > t.max_queued then t.max_queued <- q
+
+(* Route a live cell to the wheel (near future, wheel kernel only) or
+   the heap. The global [seq] is the heap's tie-break order, so heap
+   pops under any kernel reproduce the single-heap kernel exactly. *)
+let schedule_cell t ~time ~seq id =
+  if t.use_wheel && time -. t.fl.(0) < t.wheel_horizon then
+    Wheel.insert t.wheel ~time ~seq ~id
+  else Heap.push_ord t.queue ~time ~order:seq id
+
+let[@inline] at_fn t ~time ~fn ~arg =
+  let time = if time < t.fl.(0) then t.fl.(0) else time in
   let id = alloc_cell t in
-  t.fns.(id) <- fn;
-  t.args.(id) <- arg;
-  Heap.push t.queue ~time id
+  Array.unsafe_set t.fns id fn;
+  Array.unsafe_set t.args id arg;
+  note_scheduled t;
+  schedule_cell t ~time ~seq:(reserve_seq t) id
+
+(* Thunk and cancellable scheduling always lands on the heap: these are
+   the sparse far-future events (MI boundaries, impairment steps,
+   workload arrivals), and keeping cancellables out of the wheel means
+   {!compact} only ever has to filter one structure. *)
 
 let at t ~time handler =
-  let time = if time < t.clock then t.clock else time in
+  let time = if time < t.fl.(0) then t.fl.(0) else time in
   let id = alloc_cell t in
   t.fns.(id) <- t.trampoline;
   t.args.(id) <- id;
   t.thunks.(id) <- handler;
-  Heap.push t.queue ~time id
+  note_scheduled t;
+  Heap.push_ord t.queue ~time ~order:(reserve_seq t) id
 
-let after t ~delay handler = at t ~time:(t.clock +. Float.max 0.0 delay) handler
+let after t ~delay handler =
+  at t ~time:(t.fl.(0) +. Float.max 0.0 delay) handler
 
 let at_cancellable t ~time handler =
-  let time = if time < t.clock then t.clock else time in
+  let time = if time < t.fl.(0) then t.fl.(0) else time in
   let id = alloc_cell t in
   t.fns.(id) <- t.trampoline;
   t.args.(id) <- id;
   t.thunks.(id) <- handler;
   let handle = { sim = t; id; gen = t.gens.(id) } in
-  Heap.push t.queue ~time id;
+  note_scheduled t;
+  Heap.push_ord t.queue ~time ~order:(reserve_seq t) id;
   handle
 
+(* ---------- lanes ---------- *)
+
+let lane t =
+  let lb = { lt = [||]; lq = [||]; lfn = [||]; larg = [||]; head = 0; len = 0 } in
+  let cap = Array.length t.lanes in
+  if t.n_lanes = cap then begin
+    let nlanes = Array.make (max 4 (2 * cap)) lb in
+    Array.blit t.lanes 0 nlanes 0 t.n_lanes;
+    t.lanes <- nlanes
+  end;
+  t.lanes.(t.n_lanes) <- lb;
+  t.n_lanes <- t.n_lanes + 1;
+  t.n_lanes - 1
+
+let grow_lane l =
+  let cap = Array.length l.lt in
+  let ncap = max 32 (2 * cap) in
+  let nt = Array.make ncap 0.0 in
+  let nq = Array.make ncap 0 in
+  let nf = Array.make ncap noop_fn in
+  let na = Array.make ncap 0 in
+  (* Unwrap the ring while copying. *)
+  let tail = cap - l.head in
+  let first = min l.len tail in
+  Array.blit l.lt l.head nt 0 first;
+  Array.blit l.lq l.head nq 0 first;
+  Array.blit l.lfn l.head nf 0 first;
+  Array.blit l.larg l.head na 0 first;
+  if l.len > first then begin
+    Array.blit l.lt 0 nt first (l.len - first);
+    Array.blit l.lq 0 nq first (l.len - first);
+    Array.blit l.lfn 0 nf first (l.len - first);
+    Array.blit l.larg 0 na first (l.len - first)
+  end;
+  l.lt <- nt;
+  l.lq <- nq;
+  l.lfn <- nf;
+  l.larg <- na;
+  l.head <- 0
+
+let[@inline] lane_push t lane ~time ~seq ~fn ~arg =
+  let time = if time < t.fl.(0) then t.fl.(0) else time in
+  let l = t.lanes.(lane) in
+  let cap = Array.length l.lt in
+  let monotone =
+    l.len = 0
+    ||
+    let ti = l.head + l.len - 1 in
+    let ti = if ti >= cap then ti - cap else ti in
+    time >= Array.unsafe_get l.lt ti
+  in
+  if not monotone then begin
+    (* Out-of-order arrival (ACK-path noise / reordering / loss
+       notifications): route through the wheel/heap, where the carried
+       (time, seq) keeps the global order exact. *)
+    let id = alloc_cell t in
+    t.fns.(id) <- fn;
+    t.args.(id) <- arg;
+    note_scheduled t;
+    schedule_cell t ~time ~seq id
+  end
+  else begin
+    if l.len = cap then grow_lane l;
+    let cap = Array.length l.lt in
+    let i = l.head + l.len in
+    let i = if i >= cap then i - cap else i in
+    Array.unsafe_set l.lt i time;
+    Array.unsafe_set l.lq i seq;
+    Array.unsafe_set l.lfn i fn;
+    Array.unsafe_set l.larg i arg;
+    l.len <- l.len + 1;
+    t.lane_total <- t.lane_total + 1;
+    note_scheduled t
+  end
+
+(* ---------- cancellation ---------- *)
+
 (* Drop every cancelled event from the heap and recycle its cell.
-   Insertion order of survivors is preserved (FIFO ties intact). *)
+   Insertion order of survivors is preserved (FIFO ties intact).
+   Cancelled cells live only in the heap — see the scheduling paths. *)
 let compact t =
+  let before = Heap.length t.queue in
   Heap.filter_in_place t.queue (fun id ->
       if Bytes.get t.state id = st_live then true
       else begin
         release_cell t id;
         false
       end);
+  t.n_queued <- t.n_queued - (before - Heap.length t.queue);
   t.dead <- 0
 
 let cancel { sim = t; id; gen } =
@@ -156,45 +327,137 @@ let cancel { sim = t; id; gen } =
     if t.dead > Heap.length t.queue / 2 then compact t
   end
 
+(* ---------- run loop ---------- *)
+
+(* Fire (or reclaim) a pooled cell popped from the heap or wheel. *)
+let fire_cell t id =
+  if Bytes.unsafe_get t.state id = st_live then begin
+    let fn = Array.unsafe_get t.fns id and arg = Array.unsafe_get t.args id in
+    (* Invalidate outstanding cancel handles before dispatch so a
+       handler cancelling its own (already firing) event is a no-op
+       rather than corrupting the dead counter. *)
+    Array.unsafe_set t.gens id (Array.unsafe_get t.gens id + 1);
+    t.n_fired <- t.n_fired + 1;
+    fn arg;
+    release_cell t id
+  end
+  else begin
+    (* Cancelled event reached its fire time before compaction kicked
+       in: just reclaim the cell. *)
+    t.dead <- t.dead - 1;
+    release_cell t id
+  end
+
 let run ?until t =
-  let queue = t.queue in
+  let until_t = match until with Some u -> u | None -> infinity in
+  let fl = t.fl in
   let continue = ref true in
   while !continue do
-    if Heap.is_empty queue then begin
-      (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
+    (* Pick the source holding the smallest (time, seq). *)
+    fl.(1) <- infinity;
+    t.sc_seq <- max_int;
+    t.sc_src <- -1;
+    if not (Heap.is_empty t.queue) then begin
+      fl.(1) <- Heap.top_time t.queue;
+      t.sc_seq <- Heap.top_order t.queue;
+      t.sc_src <- 0
+    end;
+    if t.use_wheel && not (Wheel.is_empty t.wheel) then begin
+      Wheel.prepare t.wheel;
+      let wt = Wheel.head_time t.wheel in
+      if
+        wt < fl.(1) || (wt = fl.(1) && Wheel.head_seq t.wheel < t.sc_seq)
+      then begin
+        fl.(1) <- wt;
+        t.sc_seq <- Wheel.head_seq t.wheel;
+        t.sc_src <- 1
+      end
+    end;
+    for i = 0 to t.n_lanes - 1 do
+      let l = Array.unsafe_get t.lanes i in
+      if l.len > 0 then begin
+        let lt = Array.unsafe_get l.lt l.head in
+        if
+          lt < fl.(1)
+          || (lt = fl.(1) && Array.unsafe_get l.lq l.head < t.sc_seq)
+        then begin
+          fl.(1) <- lt;
+          t.sc_seq <- Array.unsafe_get l.lq l.head;
+          t.sc_src <- 2 + i
+        end
+      end
+    done;
+    if t.sc_src < 0 then begin
+      if until_t > fl.(0) && Float.is_finite until_t then fl.(0) <- until_t;
+      continue := false
+    end
+    else if fl.(1) > until_t then begin
+      fl.(0) <- until_t;
       continue := false
     end
     else begin
-      let time = Heap.top_time queue in
-      match until with
-      | Some u when time > u ->
-          t.clock <- u;
-          continue := false
-      | _ ->
-          let id = Heap.top queue in
-          Heap.remove_top queue;
-          t.clock <- time;
-          if Bytes.unsafe_get t.state id = st_live then begin
-            let fn = t.fns.(id) and arg = t.args.(id) in
-            (* Invalidate outstanding cancel handles before dispatch so
-               a handler cancelling its own (already firing) event is a
-               no-op rather than corrupting the dead counter. *)
-            t.gens.(id) <- t.gens.(id) + 1;
-            t.n_fired <- t.n_fired + 1;
-            fn arg;
-            release_cell t id
-          end
-          else begin
-            (* Cancelled event reached its fire time before compaction
-               kicked in: just reclaim the cell. *)
-            t.dead <- t.dead - 1;
-            release_cell t id
-          end
+      fl.(0) <- fl.(1);
+      t.n_queued <- t.n_queued - 1;
+      match t.sc_src with
+      | 0 ->
+          let id = Heap.top t.queue in
+          Heap.remove_top t.queue;
+          fire_cell t id
+      | 1 -> fire_cell t (Wheel.extract t.wheel)
+      | s ->
+          let l = Array.unsafe_get t.lanes (s - 2) in
+          let h = l.head in
+          let fn = Array.unsafe_get l.lfn h in
+          let arg = Array.unsafe_get l.larg h in
+          (* Drop the closure reference eagerly, as release_cell does. *)
+          Array.unsafe_set l.lfn h noop_fn;
+          l.head <- (if h + 1 = Array.length l.lt then 0 else h + 1);
+          l.len <- l.len - 1;
+          t.lane_total <- t.lane_total - 1;
+          t.n_fired <- t.n_fired + 1;
+          fn arg
     end
   done
 
-let pending t = Heap.length t.queue - t.dead
-let queued t = Heap.length t.queue
+let next_event_time t =
+  let fl = t.fl in
+  fl.(1) <- (if Heap.is_empty t.queue then infinity else Heap.top_time t.queue);
+  if t.use_wheel && not (Wheel.is_empty t.wheel) then begin
+    let wt = Wheel.next_time t.wheel in
+    if wt < fl.(1) then fl.(1) <- wt
+  end;
+  for i = 0 to t.n_lanes - 1 do
+    let l = Array.unsafe_get t.lanes i in
+    if l.len > 0 && Array.unsafe_get l.lt l.head < fl.(1) then
+      fl.(1) <- Array.unsafe_get l.lt l.head
+  done;
+  fl.(1)
+
+(* Allocation-free [next_event_time t <= now]: pending fire times are
+   never in the past (insertion clamps to now, and the run loop fires in
+   order), so every comparison is against the current instant. Reuses
+   the [sc_src] scratch so the lane scan needs no ref cell. *)
+let next_is_now t =
+  let now = t.fl.(0) in
+  ((not (Heap.is_empty t.queue)) && Heap.top_time t.queue <= now)
+  || (t.use_wheel
+     && (not (Wheel.is_empty t.wheel))
+     && Wheel.next_time t.wheel <= now)
+  ||
+  begin
+    t.sc_src <- 0;
+    for i = 0 to t.n_lanes - 1 do
+      let l = Array.unsafe_get t.lanes i in
+      if l.len > 0 && Array.unsafe_get l.lt l.head <= now then t.sc_src <- 1
+    done;
+    t.sc_src = 1
+  end
+
+let pending t = t.n_queued - t.dead
+let queued t = t.n_queued
 let events_scheduled t = t.n_scheduled
 let events_fired t = t.n_fired
 let max_queued t = t.max_queued
+let wheel_ticks t = Wheel.ticks t.wheel
+let wheel_cascades t = Wheel.cascades t.wheel
+let wheel_max_occupancy t = Wheel.max_occupancy t.wheel

@@ -2,18 +2,33 @@
 
     Handlers scheduled with {!at} or {!after} run with the clock set to
     their firing time. The kernel is single-threaded and deterministic:
-    events at equal times fire in scheduling order.
+    every event carries a global sequence number assigned at scheduling
+    time, and events at equal times fire in scheduling order — whichever
+    internal structure holds them.
 
     Internally every event occupies a cell in a free-list pool (a
     reusable [int -> unit] callback plus an unboxed [int] argument);
-    the heap stores only cell ids. Scheduling through {!at_fn} with a
-    long-lived callback is therefore allocation free in steady state —
+    the schedule stores only cell ids. Scheduling through {!at_fn} with
+    a long-lived callback is therefore allocation free in steady state —
     this is the hot path used by the packet-level scenario runner. *)
 
 type t
 
-val create : unit -> t
+(** Scheduling backend for the {!at_fn} fast path.
+
+    [Heap_kernel] (the default) keeps every event in the SoA binary
+    heap — bit-compatible with the historical single-heap kernel.
+    [Wheel_kernel] routes near-future [at_fn] events into a hierarchical
+    timing wheel (O(1) insert/extract) and enables {!lane} scheduling;
+    far-future events, thunks and cancellables stay on the heap. Both
+    kernels fire the same schedule in the same order — the wheel kernel
+    is a performance choice, not a semantic one. *)
+type kernel = Heap_kernel | Wheel_kernel
+
+val create : ?kernel:kernel -> unit -> t
 (** Fresh simulation with the clock at 0. *)
+
+val kernel : t -> kernel
 
 val now : t -> float
 (** Current virtual time in seconds. *)
@@ -32,6 +47,47 @@ val at_fn : t -> time:float -> fn:(int -> unit) -> arg:int -> unit
     of work — typically an index into a caller-owned ring. Equivalent
     to [at t ~time (fun () -> fn arg)] without the fresh closure. *)
 
+(** {2 Lanes}
+
+    A lane is a per-source FIFO event stream consumed directly by the
+    run loop — an SoA ring buffer that skips both the cell pool and the
+    heap/wheel. Intended for event sources that are naturally (almost)
+    time-ordered, e.g. one lane per network link whose delivery times
+    are nondecreasing. The caller reserves the global sequence number
+    ({!reserve_seq}) at the exact program point where {!at_fn} would
+    have been called, so lane events keep their deterministic position
+    in the global (time, seq) order. A push that would violate the
+    lane's time-monotonicity transparently falls back to the wheel/heap
+    with the same (time, seq) — correctness never depends on the caller
+    getting monotonicity right. *)
+
+type lane
+
+val lane : t -> lane
+(** Register a fresh (empty) lane. *)
+
+val reserve_seq : t -> int
+(** Draw the next global sequence number. {!at_fn}/{!at} draw from the
+    same counter, so interleaving reservations with scheduling calls
+    totally orders all events. *)
+
+val lane_push :
+  t -> lane -> time:float -> seq:int -> fn:(int -> unit) -> arg:int -> unit
+(** Schedule [fn arg] at [time] (clamped to [now]) on the lane, with a
+    sequence number from {!reserve_seq}. *)
+
+val next_event_time : t -> float
+(** Fire time of the earliest scheduled event across every source
+    (heap, wheel, lanes), or [infinity] when nothing is pending. Lets
+    handlers detect "nothing else happens at the current instant" and
+    run follow-up work inline instead of scheduling a zero-delay
+    event. *)
+
+val next_is_now : t -> bool
+(** [next_is_now t] is [next_event_time t <= now t], without boxing the
+    intermediate float — the per-ACK fast-path test on the runner's hot
+    path. *)
+
 type cancel
 (** Handle for a cancellable event. *)
 
@@ -42,7 +98,8 @@ val cancel : cancel -> unit
     Cancelled events are dropped from the queue eagerly: when more than
     half the queued events are dead the queue is compacted in place, so
     cancel-heavy workloads (timer wheels, retransmission timers) do not
-    retain dead entries until their nominal fire time. *)
+    retain dead entries until their nominal fire time. Cancellable
+    events always live on the heap, under either kernel. *)
 
 val run : ?until:float -> t -> unit
 (** Drain the event queue, advancing the clock. With [?until], stop
@@ -53,8 +110,9 @@ val pending : t -> int
 (** Number of live (non-cancelled) events still queued. *)
 
 val queued : t -> int
-(** Number of heap entries including not-yet-compacted cancelled
-    events. Diagnostic; [queued t - pending t] is the dead count. *)
+(** Number of queued entries (heap + wheel + lanes) including
+    not-yet-compacted cancelled events. Diagnostic;
+    [queued t - pending t] is the dead count. *)
 
 (** {2 Kernel observability}
 
@@ -71,3 +129,12 @@ val events_fired : t -> int
 
 val max_queued : t -> int
 (** High-water mark of the event queue length. *)
+
+val wheel_ticks : t -> int
+(** Timing-wheel cursor advances. 0 under [Heap_kernel]. *)
+
+val wheel_cascades : t -> int
+(** Non-empty level-1 wheel slot refills. 0 under [Heap_kernel]. *)
+
+val wheel_max_occupancy : t -> int
+(** High-water mark of wheel occupancy. 0 under [Heap_kernel]. *)

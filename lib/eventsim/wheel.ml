@@ -1,0 +1,314 @@
+(* Two-level hierarchical timing wheel for near-future, high-frequency
+   events (packet departures, ACK deliveries, loss notifications).
+
+   Entries are (time, seq, id) triples held in per-slot
+   structure-of-arrays buffers: a float array of absolute fire times, an
+   int array of global sequence numbers (the kernel's tie-break) and an
+   int array of event-cell ids. Insertion is O(1): the entry's tick
+   index [floor (time / tick)] selects a level-0 slot when it lies
+   within [slots] ticks of the cursor, a level-1 slot otherwise (times
+   beyond the level-1 range clamp to the farthest slot and are refiled
+   on cascade). Extraction drains one level-0 slot at a time into a
+   sorted batch buffer; the cursor only advances while the batch is
+   empty, so entries inserted behind the cursor (same-tick follow-ups,
+   delay-zero polls) are merged into the batch by sorted insertion and
+   still fire in exact (time, seq) order.
+
+   Level-1 slot [j] is cascaded exactly when the cursor enters span
+   [j]: every entry with tick delta below [slots²] is therefore refiled
+   into level 0 at or before its due tick. Steady state allocates
+   nothing — slot buffers, the batch and the cascade scratch grow
+   geometrically and are then reused. *)
+
+type slot = {
+  mutable ts : float array; (* absolute fire times *)
+  mutable qs : int array; (* global sequence numbers *)
+  mutable ids : int array; (* event cell ids *)
+  mutable n : int;
+}
+
+type t = {
+  tick : float;
+  inv_tick : float;
+  nslots : int;
+  (* Slot records are materialised lazily on first push: [empty] is a
+     shared sentinel that is never mutated (only {!place} pushes, and it
+     swaps in a fresh record first), so creating a wheel costs two
+     pointer arrays, not 2×[slots] record allocations — wheels are
+     created per simulation run, including inside benchmark loops. *)
+  empty : slot;
+  l0 : slot array;
+  l1 : slot array;
+  mutable n_l0 : int;
+  mutable n_l1 : int;
+  mutable cur : int; (* highest tick index already drained *)
+  (* Due entries, sorted by (time, seq), consumed from [bhead]. *)
+  mutable bts : float array;
+  mutable bqs : int array;
+  mutable bids : int array;
+  mutable bhead : int;
+  mutable blen : int;
+  (* Cascade scratch: level-1 entries are moved here before refiling,
+     because refiling can write back into the same level-1 array. *)
+  mutable cts : float array;
+  mutable cqs : int array;
+  mutable cids : int array;
+  (* Observability counters. *)
+  mutable n_ticks : int;
+  mutable n_cascades : int;
+  mutable max_occ : int;
+}
+
+let fresh_slot () = { ts = [||]; qs = [||]; ids = [||]; n = 0 }
+
+let create ?(tick = 1e-3) ?(slots = 512) () =
+  if tick <= 0.0 then invalid_arg "Wheel.create: tick must be positive";
+  if slots < 2 then invalid_arg "Wheel.create: need at least 2 slots";
+  let empty = fresh_slot () in
+  {
+    tick;
+    inv_tick = 1.0 /. tick;
+    nslots = slots;
+    empty;
+    l0 = Array.make slots empty;
+    l1 = Array.make slots empty;
+    n_l0 = 0;
+    n_l1 = 0;
+    cur = 0;
+    bts = [||];
+    bqs = [||];
+    bids = [||];
+    bhead = 0;
+    blen = 0;
+    cts = [||];
+    cqs = [||];
+    cids = [||];
+    n_ticks = 0;
+    n_cascades = 0;
+    max_occ = 0;
+  }
+
+let horizon t = t.tick *. float_of_int ((t.nslots * t.nslots) - 2)
+let[@inline] count t = t.blen + t.n_l0 + t.n_l1
+let[@inline] is_empty t = count t = 0
+let ticks t = t.n_ticks
+let cascades t = t.n_cascades
+let max_occupancy t = t.max_occ
+let tick_of t time = int_of_float (time *. t.inv_tick)
+
+let slot_push s time seq id =
+  let cap = Array.length s.ts in
+  if s.n = cap then begin
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let nts = Array.make ncap 0.0 in
+    let nqs = Array.make ncap 0 in
+    let nids = Array.make ncap 0 in
+    Array.blit s.ts 0 nts 0 s.n;
+    Array.blit s.qs 0 nqs 0 s.n;
+    Array.blit s.ids 0 nids 0 s.n;
+    s.ts <- nts;
+    s.qs <- nqs;
+    s.ids <- nids
+  end;
+  Array.unsafe_set s.ts s.n time;
+  Array.unsafe_set s.qs s.n seq;
+  Array.unsafe_set s.ids s.n id;
+  s.n <- s.n + 1
+
+(* Make room for [extra] more batch entries past [bhead + blen]:
+   shift the live region down to 0 first, grow only if still short. *)
+let batch_reserve t extra =
+  let cap = Array.length t.bts in
+  if t.bhead + t.blen + extra > cap then begin
+    if t.bhead > 0 then begin
+      Array.blit t.bts t.bhead t.bts 0 t.blen;
+      Array.blit t.bqs t.bhead t.bqs 0 t.blen;
+      Array.blit t.bids t.bhead t.bids 0 t.blen;
+      t.bhead <- 0
+    end;
+    if t.blen + extra > cap then begin
+      let ncap = max 16 (max (t.blen + extra) (2 * cap)) in
+      let nts = Array.make ncap 0.0 in
+      let nqs = Array.make ncap 0 in
+      let nids = Array.make ncap 0 in
+      Array.blit t.bts 0 nts 0 t.blen;
+      Array.blit t.bqs 0 nqs 0 t.blen;
+      Array.blit t.bids 0 nids 0 t.blen;
+      t.bts <- nts;
+      t.bqs <- nqs;
+      t.bids <- nids
+    end
+  end
+
+(* Sorted insert into the batch, scanning from the front: behind-cursor
+   arrivals are typically due now, i.e. near the head. *)
+let batch_insert t time seq id =
+  batch_reserve t 1;
+  let ts = t.bts and qs = t.bqs and ids = t.bids in
+  let hi = t.bhead + t.blen in
+  let p = ref t.bhead in
+  while
+    !p < hi
+    &&
+    let pt = Array.unsafe_get ts !p in
+    pt < time || (pt = time && Array.unsafe_get qs !p < seq)
+  do
+    incr p
+  done;
+  let p = !p in
+  Array.blit ts p ts (p + 1) (hi - p);
+  Array.blit qs p qs (p + 1) (hi - p);
+  Array.blit ids p ids (p + 1) (hi - p);
+  (* [batch_reserve] above guarantees room for one more entry, and
+     [p <= hi = bhead + blen], so the shifted region and the write at
+     [p] both stay inside the buffers. *)
+  Array.unsafe_set ts p time;
+  Array.unsafe_set qs p seq;
+  Array.unsafe_set ids p id;
+  t.blen <- t.blen + 1
+
+(* Insertion sort of the batch region by (time, seq); slot buffers are
+   small (one tick's worth of events), so this beats anything fancier. *)
+let batch_sort t =
+  let ts = t.bts and qs = t.bqs and ids = t.bids in
+  let lo = t.bhead in
+  for i = lo + 1 to lo + t.blen - 1 do
+    let time = Array.unsafe_get ts i in
+    let seq = Array.unsafe_get qs i in
+    let id = Array.unsafe_get ids i in
+    let j = ref (i - 1) in
+    while
+      !j >= lo
+      &&
+      let jt = Array.unsafe_get ts !j in
+      jt > time || (jt = time && Array.unsafe_get qs !j > seq)
+    do
+      Array.unsafe_set ts (!j + 1) (Array.unsafe_get ts !j);
+      Array.unsafe_set qs (!j + 1) (Array.unsafe_get qs !j);
+      Array.unsafe_set ids (!j + 1) (Array.unsafe_get ids !j);
+      decr j
+    done;
+    Array.unsafe_set ts (!j + 1) time;
+    Array.unsafe_set qs (!j + 1) seq;
+    Array.unsafe_set ids (!j + 1) id
+  done
+
+(* Route an entry to the batch (behind the cursor), level 0 or level 1.
+   Counter-free: shared by insert and cascade refiling. *)
+let[@inline] slot_at t level i =
+  let s = Array.unsafe_get level i in
+  if s != t.empty then s
+  else begin
+    let s = fresh_slot () in
+    Array.unsafe_set level i s;
+    s
+  end
+
+let place t time seq id =
+  let tk = tick_of t time in
+  if tk <= t.cur then batch_insert t time seq id
+  else begin
+    let delta = tk - t.cur in
+    if delta < t.nslots then begin
+      slot_push (slot_at t t.l0 (tk mod t.nslots)) time seq id;
+      t.n_l0 <- t.n_l0 + 1
+    end
+    else begin
+      let maxd = (t.nslots * t.nslots) - 1 in
+      let tk = if delta > maxd then t.cur + maxd else tk in
+      slot_push (slot_at t t.l1 (tk / t.nslots mod t.nslots)) time seq id;
+      t.n_l1 <- t.n_l1 + 1
+    end
+  end
+
+let insert t ~time ~seq ~id =
+  if not (Float.is_finite time) || time < 0.0 then
+    invalid_arg "Wheel.insert: time must be finite and non-negative";
+  (* Empty wheel: rebase the cursor just behind the entry so a sparse
+     schedule does not walk every intervening slot. *)
+  if t.blen = 0 && t.n_l0 = 0 && t.n_l1 = 0 then begin
+    let tk = tick_of t time in
+    if tk > t.cur + 1 then t.cur <- tk - 1
+  end;
+  place t time seq id;
+  let c = count t in
+  if c > t.max_occ then t.max_occ <- c
+
+let drain_slot t s =
+  let k = s.n in
+  batch_reserve t k;
+  let base = t.bhead + t.blen in
+  Array.blit s.ts 0 t.bts base k;
+  Array.blit s.qs 0 t.bqs base k;
+  Array.blit s.ids 0 t.bids base k;
+  t.blen <- t.blen + k;
+  s.n <- 0;
+  t.n_l0 <- t.n_l0 - k;
+  batch_sort t
+
+(* Refile the level-1 slot of the span the cursor just entered. *)
+let cascade t =
+  let s = Array.unsafe_get t.l1 (t.cur / t.nslots mod t.nslots) in
+  let k = s.n in
+  if k > 0 then begin
+    t.n_cascades <- t.n_cascades + 1;
+    if Array.length t.cts < k then begin
+      let ncap = max 16 (max k (2 * Array.length t.cts)) in
+      t.cts <- Array.make ncap 0.0;
+      t.cqs <- Array.make ncap 0;
+      t.cids <- Array.make ncap 0
+    end;
+    Array.blit s.ts 0 t.cts 0 k;
+    Array.blit s.qs 0 t.cqs 0 k;
+    Array.blit s.ids 0 t.cids 0 k;
+    s.n <- 0;
+    t.n_l1 <- t.n_l1 - k;
+    for i = 0 to k - 1 do
+      place t
+        (Array.unsafe_get t.cts i)
+        (Array.unsafe_get t.cqs i)
+        (Array.unsafe_get t.cids i)
+    done
+  end
+
+(* Advance the cursor until the batch holds at least one entry.
+   Precondition: [blen = 0] and [n_l0 + n_l1 > 0]. When level 0 is
+   empty the cursor jumps span by span (one cascade per span) instead
+   of slot by slot. *)
+let refill t =
+  while t.blen = 0 do
+    if t.n_l0 > 0 then begin
+      t.cur <- t.cur + 1;
+      if t.cur mod t.nslots = 0 then cascade t
+    end
+    else begin
+      t.cur <- ((t.cur / t.nslots) + 1) * t.nslots;
+      cascade t
+    end;
+    t.n_ticks <- t.n_ticks + 1;
+    let s = Array.unsafe_get t.l0 (t.cur mod t.nslots) in
+    if s.n > 0 then drain_slot t s
+  done
+
+let[@inline] prepare t = if t.blen = 0 && t.n_l0 + t.n_l1 > 0 then refill t
+
+(* Unchecked batch-head peeks for the run loop's candidate scan:
+   require a prior [prepare] on a non-empty wheel. *)
+let[@inline] head_time t = Array.unsafe_get t.bts t.bhead
+let[@inline] head_seq t = Array.unsafe_get t.bqs t.bhead
+
+let[@inline] next_time t =
+  prepare t;
+  if t.blen = 0 then infinity else head_time t
+
+let[@inline] next_seq t =
+  prepare t;
+  if t.blen = 0 then max_int else head_seq t
+
+let extract t =
+  prepare t;
+  if t.blen = 0 then invalid_arg "Wheel.extract: empty wheel";
+  let id = Array.unsafe_get t.bids t.bhead in
+  t.blen <- t.blen - 1;
+  t.bhead <- (if t.blen = 0 then 0 else t.bhead + 1);
+  id

@@ -5,7 +5,9 @@ type t = {
   mutable acked : int;
   mutable lost : int;
   mutable dup_acked : int;
-  mutable bytes_acked : float;
+  (* Single-cell float array: a mutable float field in this mixed record
+     would box on every per-ACK accumulation. *)
+  bytes_acked_c : float array;
   mutable lost_by_hop : int array; (* indexed by link id; grown on demand *)
   ack_times : Fvec.t;
   ack_bytes : Fvec.t;
@@ -18,20 +20,21 @@ let create () =
     acked = 0;
     lost = 0;
     dup_acked = 0;
-    bytes_acked = 0.0;
+    bytes_acked_c = [| 0.0 |];
     lost_by_hop = [||];
     ack_times = Fvec.create ~capacity:1024 ();
     ack_bytes = Fvec.create ~capacity:1024 ();
     rtts = Fvec.create ~capacity:1024 ();
   }
 
-let record_sent t ~now:_ ~size:_ = t.sent <- t.sent + 1
+let[@inline] record_sent t ~now:_ ~size:_ = t.sent <- t.sent + 1
 
-let record_ack t ~now ~size ~rtt =
+let[@inline] record_ack t ~now ~size ~rtt =
   t.acked <- t.acked + 1;
-  t.bytes_acked <- t.bytes_acked +. float_of_int size;
+  let sizef = float_of_int size in
+  t.bytes_acked_c.(0) <- t.bytes_acked_c.(0) +. sizef;
   Fvec.push t.ack_times now;
-  Fvec.push t.ack_bytes (float_of_int size);
+  Fvec.push t.ack_bytes sizef;
   Fvec.push t.rtts rtt
 
 let record_loss ?(hop = 0) t ~now:_ ~size:_ =
@@ -63,7 +66,7 @@ let losses_by_hop t =
   done;
   Array.sub t.lost_by_hop 0 !n
 let packets_dup_acked t = t.dup_acked
-let bytes_acked t = t.bytes_acked
+let bytes_acked t = t.bytes_acked_c.(0)
 
 let loss_fraction t =
   if t.sent = 0 then 0.0 else float_of_int t.lost /. float_of_int t.sent

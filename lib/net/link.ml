@@ -127,7 +127,12 @@ type t = {
   mutable ge_bad : bool;  (* Gilbert–Elliott chain state *)
   rng : Rng.t;
   noise : Noise.t;
-  mutable free_at : float;
+  (* Unboxed float scratch: fl.(0) is [free_at] (the instant the server
+     finishes everything admitted so far), fl.(1) the FIFO ACK clamp
+     [last_nominal]. Mutable float fields in this mixed record would box
+     on every store — one store of each per packet — so they live in a
+     float array instead. *)
+  fl : float array;
   (* Impairment schedule, sorted by time; entries at index < [sched_idx]
      have been applied. *)
   sched_time : float array;
@@ -142,10 +147,6 @@ type t = {
   reorder_prob : float;
   reorder_extra : float;  (* seconds *)
   dup_prob : float;
-  (* ACK path is FIFO: nominal ACK times are clamped to be
-     nondecreasing so mid-run RTT reductions cannot violate the Noise
-     precondition. *)
-  mutable last_nominal : float;
   trace : Trace.t;
 }
 
@@ -167,7 +168,7 @@ let create ?(trace = Trace.disabled) cfg ~rng =
     ge_bad = false;
     rng = Rng.split rng;
     noise = Noise.create cfg.noise ~rng:(Rng.split rng);
-    free_at = 0.0;
+    fl = [| 0.0; neg_infinity |];
     sched_time = Array.of_list (List.map fst sorted);
     sched_imp = Array.of_list (List.map snd sorted);
     sched_idx = 0;
@@ -178,7 +179,6 @@ let create ?(trace = Trace.disabled) cfg ~rng =
     reorder_prob = cfg.reorder_prob;
     reorder_extra = Units.ms cfg.reorder_extra_ms;
     dup_prob = cfg.dup_prob;
-    last_nominal = neg_infinity;
     trace;
   }
 
@@ -195,9 +195,9 @@ let sync t ~now =
     let tc = t.sched_time.(t.sched_idx) in
     (match t.sched_imp.(t.sched_idx) with
     | Set_bandwidth mbps ->
-        let unserved = Float.max 0.0 (t.free_at -. tc) *. t.capacity in
+        let unserved = Float.max 0.0 (t.fl.(0) -. tc) *. t.capacity in
         t.capacity <- Units.mbps_to_bytes_per_sec mbps;
-        t.free_at <- tc +. (unserved /. t.capacity);
+        t.fl.(0) <- tc +. (unserved /. t.capacity);
         if Trace.enabled t.trace then
           Trace.emit t.trace ~time:tc ~kind:Trace.Impairment ~flow:(-1)
             ~seq:t.sched_idx ~a:mbps ~b:0.0 ~note:"set-bandwidth"
@@ -219,7 +219,7 @@ let sync t ~now =
             ~seq:t.sched_idx ~a:(average_loss m) ~b:0.0 ~note:"set-loss"
     | Down { duration; flush } ->
         let o_end = tc +. duration in
-        t.free_at <- (if flush then o_end else Float.max t.free_at o_end);
+        t.fl.(0) <- (if flush then o_end else Float.max t.fl.(0) o_end);
         if Trace.enabled t.trace then
           Trace.emit t.trace ~time:tc ~kind:Trace.Impairment ~flow:(-1)
             ~seq:t.sched_idx ~a:duration
@@ -246,18 +246,19 @@ let is_down t ~now =
 
 let backlog_bytes t ~now =
   sync t ~now;
-  Float.max 0.0 (t.free_at -. now) *. t.capacity
+  Float.max 0.0 (t.fl.(0) -. now) *. t.capacity
 
 let queue_delay t ~now =
   sync t ~now;
-  Float.max 0.0 (t.free_at -. now)
+  Float.max 0.0 (t.fl.(0) -. now)
 
 (* A sender learns of a loss when a later packet's ACK reveals the
    sequence gap — approximately one current RTT after the drop. During
    an outage [free_at] already sits at the window end, so the
    notification lands after the link is back up. *)
 let loss_notify_time t ~now =
-  now +. Float.max 0.0 (t.free_at -. now) +. (2.0 *. t.prop_one_way)
+  let wait = t.fl.(0) -. now in
+  now +. (if wait > 0.0 then wait else 0.0) +. (2.0 *. t.prop_one_way)
 
 let draw_loss t =
   match t.loss with
@@ -278,6 +279,37 @@ let draw_loss t =
 
 type fwd_outcome = Fwd_arrival of float | Fwd_dropped
 
+(* Outage-window lookahead shared by [forward] and [transmit]: advance
+   [dep0] past every drain window it crosses, or detect a flush window
+   (which discards the queue, this packet included). Updates [fl.(0)]
+   ([free_at]) — even a flushed packet occupies the queue until the
+   flush — and returns NaN for "flushed". The fast path (no future
+   window crossed, i.e. every benign link) allocates nothing. *)
+let[@inline] lookahead t ~now dep0 =
+  if t.out_idx >= Array.length t.out_start || dep0 <= t.out_start.(t.out_idx)
+  then begin
+    t.fl.(0) <- dep0;
+    dep0
+  end
+  else begin
+    let departure = ref dep0 in
+    let flushed = ref false in
+    let i = ref t.out_idx in
+    while
+      (not !flushed)
+      && !i < Array.length t.out_start
+      && !departure > t.out_start.(!i)
+    do
+      if t.out_start.(!i) >= now then begin
+        if t.out_flush.(!i) then flushed := true
+        else departure := !departure +. (t.out_end.(!i) -. t.out_start.(!i))
+      end;
+      incr i
+    done;
+    t.fl.(0) <- !departure;
+    if !flushed then Float.nan else !departure
+  end
+
 let forward t ~now ~size =
   sync t ~now;
   if
@@ -288,28 +320,15 @@ let forward t ~now ~size =
   else if draw_loss t then Fwd_dropped
   else begin
     let sizef = float_of_int size in
-    if (Float.max 0.0 (t.free_at -. now) *. t.capacity) +. sizef > t.buffer_bytes
+    let free_at = t.fl.(0) in
+    let wait = free_at -. now in
+    if ((if wait > 0.0 then wait else 0.0) *. t.capacity) +. sizef > t.buffer_bytes
     then Fwd_dropped
     else begin
-      let start = Float.max now t.free_at in
-      let departure = ref (start +. (sizef /. t.capacity)) in
-      let flushed = ref false in
-      let i = ref t.out_idx in
-      while
-        (not !flushed)
-        && !i < Array.length t.out_start
-        && !departure > t.out_start.(!i)
-      do
-        if t.out_start.(!i) >= now then begin
-          if t.out_flush.(!i) then flushed := true
-          else departure := !departure +. (t.out_end.(!i) -. t.out_start.(!i))
-        end;
-        incr i
-      done;
-      (* Even a flushed packet occupies the queue until the flush. *)
-      t.free_at <- !departure;
-      if !flushed then Fwd_dropped
-      else Fwd_arrival (!departure +. t.prop_one_way)
+      let start = if now >= free_at then now else free_at in
+      let departure = lookahead t ~now (start +. (sizef /. t.capacity)) in
+      if Float.is_nan departure then Fwd_dropped
+      else Fwd_arrival (departure +. t.prop_one_way)
     end
   end
 
@@ -322,53 +341,52 @@ let forward t ~now ~size =
    nondecreasing over successive calls, ACK order is preserved. *)
 let ack_transit t ~now ~at =
   sync t ~now;
-  Float.max at t.free_at
+  (if at >= t.fl.(0) then at else t.fl.(0))
   +. (float_of_int Units.ack_bytes /. t.capacity)
   +. t.prop_one_way
 
-let transmit t ~now ~size =
+(* Allocation-free variant of [transmit] for the per-packet hot path:
+   the outcome is written into the caller's reusable scratch [out]
+   instead of a fresh variant. Returns [true] (delivered: out.(0) =
+   ack_time, out.(1) = rtt, out.(2) = dup_ack_time or NaN) or [false]
+   (dropped: out.(0) = notify_time). Identical admission sequence and
+   RNG draws to [transmit], which is now a wrapper. *)
+let transmit_into t ~now ~size ~out =
   sync t ~now;
   if
     t.out_idx < Array.length t.out_start
     && t.out_start.(t.out_idx) <= now
     && now < t.out_end.(t.out_idx)
-  then (* Link is down: admission refused. *)
-    Dropped { notify_time = loss_notify_time t ~now }
-  else if draw_loss t then Dropped { notify_time = loss_notify_time t ~now }
+  then begin
+    (* Link is down: admission refused. *)
+    out.(0) <- loss_notify_time t ~now;
+    false
+  end
+  else if draw_loss t then begin
+    out.(0) <- loss_notify_time t ~now;
+    false
+  end
   else begin
     let sizef = float_of_int size in
-    if (Float.max 0.0 (t.free_at -. now) *. t.capacity) +. sizef > t.buffer_bytes
-    then Dropped { notify_time = loss_notify_time t ~now }
+    let free_at = t.fl.(0) in
+    let wait = free_at -. now in
+    if ((if wait > 0.0 then wait else 0.0) *. t.capacity) +. sizef > t.buffer_bytes
+    then begin
+      out.(0) <- loss_notify_time t ~now;
+      false
+    end
     else begin
-      let start = Float.max now t.free_at in
-      let departure = ref (start +. (sizef /. t.capacity)) in
-      (* Lookahead over future outage windows the departure crosses: a
-         drain window pauses the server (departure shifts past it); a
-         flush window discards the queue, this packet included. *)
-      let flushed = ref false in
-      let i = ref t.out_idx in
-      while
-        (not !flushed)
-        && !i < Array.length t.out_start
-        && !departure > t.out_start.(!i)
-      do
-        if t.out_start.(!i) >= now then begin
-          if t.out_flush.(!i) then flushed := true
-          else departure := !departure +. (t.out_end.(!i) -. t.out_start.(!i))
-        end;
-        incr i
-      done;
-      if !flushed then begin
-        (* The packet occupies the queue until the flush discards it. *)
-        t.free_at <- !departure;
-        Dropped { notify_time = loss_notify_time t ~now }
+      let start = if now >= free_at then now else free_at in
+      let departure = lookahead t ~now (start +. (sizef /. t.capacity)) in
+      if Float.is_nan departure then begin
+        (* Flushed: the packet occupied the queue until the discard. *)
+        out.(0) <- loss_notify_time t ~now;
+        false
       end
       else begin
-        t.free_at <- !departure;
-        let nominal_ack =
-          Float.max (!departure +. (2.0 *. t.prop_one_way)) t.last_nominal
-        in
-        t.last_nominal <- nominal_ack;
+        let base = departure +. (2.0 *. t.prop_one_way) in
+        let nominal_ack = if base >= t.fl.(1) then base else t.fl.(1) in
+        t.fl.(1) <- nominal_ack;
         let ack_time =
           Noise.ack_delivery_time t.noise ~now ~nominal:nominal_ack
         in
@@ -377,12 +395,19 @@ let transmit t ~now ~size =
             ack_time +. Rng.uniform t.rng ~lo:0.0 ~hi:t.reorder_extra
           else ack_time
         in
-        let dup_ack_time =
-          if Rng.bernoulli t.rng ~p:t.dup_prob then
-            ack_time +. (sizef /. t.capacity)
-          else Float.nan
-        in
-        Delivered { ack_time; rtt = ack_time -. now; dup_ack_time }
+        out.(0) <- ack_time;
+        out.(1) <- ack_time -. now;
+        out.(2) <-
+          (if Rng.bernoulli t.rng ~p:t.dup_prob then
+             ack_time +. (sizef /. t.capacity)
+           else Float.nan);
+        true
       end
     end
   end
+
+let transmit t ~now ~size =
+  let out = [| 0.0; 0.0; 0.0 |] in
+  if transmit_into t ~now ~size ~out then
+    Delivered { ack_time = out.(0); rtt = out.(1); dup_ack_time = out.(2) }
+  else Dropped { notify_time = out.(0) }

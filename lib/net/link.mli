@@ -129,6 +129,15 @@ val transmit : t -> now:float -> size:int -> outcome
 (** Offer a packet to the link at time [now]. Calls must be made in
     nondecreasing [now] order (simulated time). *)
 
+val transmit_into : t -> now:float -> size:int -> out:float array -> bool
+(** Allocation-free {!transmit} for per-packet hot paths: the outcome
+    lands in the caller's reusable scratch [out] (length >= 3) instead
+    of a fresh {!outcome}. [true]: delivered — [out.(0)] is the ACK
+    arrival time, [out.(1)] the RTT sample, [out.(2)] the duplicate-ACK
+    time or NaN when no duplicate was drawn. [false]: dropped —
+    [out.(0)] is the loss-notification time. Identical admission
+    sequence and RNG draws to {!transmit}. *)
+
 (** {2 Multi-hop primitives}
 
     When a link serves as one hop of a {!Topology} route it is driven

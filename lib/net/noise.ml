@@ -35,11 +35,14 @@ let default_wifi =
 type t = {
   spec : spec;
   rng : Rng.t;
-  mutable gate_until : float;
-  mutable last_nominal : float;
+  (* Unboxed float state: fl.(0) is the gate-open instant, fl.(1) the
+     last nominal delivery time (mutable float fields in a mixed record
+     would box on every store, and [None_] still stores fl.(1) once per
+     ACK). *)
+  fl : float array;
 }
 
-let create spec ~rng = { spec; rng; gate_until = 0.0; last_nominal = neg_infinity }
+let create spec ~rng = { spec; rng; fl = [| 0.0; neg_infinity |] }
 
 (* Gaussian jitter truncated to be nonnegative: latency noise can only
    delay delivery in our model. *)
@@ -47,18 +50,18 @@ let jitter rng ~sigma =
   if sigma <= 0.0 then 0.0
   else Float.abs (Rng.gaussian rng ~mu:0.0 ~sigma)
 
-let ack_delivery_time t ~now:_ ~nominal =
+let ack_delivery_time_slow t ~nominal =
   (* The gate state ([gate_until]) assumes ACKs are presented in send
      order; a decreasing [nominal] would silently produce out-of-order
      delivery times, so reject it loudly instead (small slack for
      floating-point noise in callers' arithmetic). *)
-  if nominal < t.last_nominal -. 1e-9 then
+  if nominal < t.fl.(1) -. 1e-9 then
     invalid_arg
       (Printf.sprintf
          "Noise.ack_delivery_time: nominal %.9f < previous %.9f (calls must \
           be nondecreasing)"
-         nominal t.last_nominal);
-  t.last_nominal <- Float.max t.last_nominal nominal;
+         nominal t.fl.(1));
+  if nominal > t.fl.(1) then t.fl.(1) <- nominal;
   match t.spec with
   | None_ -> nominal
   | Gaussian { sigma_ms } ->
@@ -68,11 +71,11 @@ let ack_delivery_time t ~now:_ ~nominal =
       let frame = Units.ms frame_ms in
       let quantized = Float.ceil (nominal /. frame) *. frame in
       let d = ref (quantized +. jitter t.rng ~sigma:(Units.ms jitter_ms)) in
-      if nominal >= t.gate_until && Rng.bernoulli t.rng ~p:outage_prob then
-        t.gate_until <-
+      if nominal >= t.fl.(0) && Rng.bernoulli t.rng ~p:outage_prob then
+        t.fl.(0) <-
           nominal
           +. Rng.uniform t.rng ~lo:(Units.ms 5.0) ~hi:(Units.ms outage_max_ms);
-      if !d < t.gate_until then d := t.gate_until;
+      if !d < t.fl.(0) then d := t.fl.(0);
       !d
   | Wifi { jitter_ms; spike_prob; spike_scale_ms; gate_prob; gate_max_ms } ->
       let d = ref (nominal +. jitter t.rng ~sigma:(Units.ms jitter_ms)) in
@@ -84,8 +87,20 @@ let ack_delivery_time t ~now:_ ~nominal =
       end;
       (* ACK compression: a gate holds all ACKs whose nominal delivery
          falls before it opens, releasing them back-to-back. *)
-      if nominal >= t.gate_until && Rng.bernoulli t.rng ~p:gate_prob then
-        t.gate_until <-
+      if nominal >= t.fl.(0) && Rng.bernoulli t.rng ~p:gate_prob then
+        t.fl.(0) <-
           nominal +. Rng.uniform t.rng ~lo:(Units.ms 2.0) ~hi:(Units.ms gate_max_ms);
-      if !d < t.gate_until then d := t.gate_until;
+      if !d < t.fl.(0) then d := t.fl.(0);
       !d
+
+(* Inline fast path for the benign common case (no noise model, nominal
+   times nondecreasing): one unboxed compare + store, no call, no float
+   boxing at the [transmit] call site. Everything else — jitter models,
+   and the slack window where [nominal] dips below the last value —
+   takes the out-of-line slow path with identical semantics. *)
+let[@inline] ack_delivery_time t ~now:_ ~nominal =
+  match t.spec with
+  | None_ when nominal >= t.fl.(1) ->
+      t.fl.(1) <- nominal;
+      nominal
+  | _ -> ack_delivery_time_slow t ~nominal

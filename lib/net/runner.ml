@@ -58,16 +58,27 @@ type t = {
   sim : Sim.t;
   links : Link.t array;
   classic : bool; (* dumbbell: links.(0) is the legacy full-duplex link *)
+  batch : bool; (* wheel kernel: per-link lanes + inline polls *)
+  lanes : Sim.lane array; (* one per link; empty unless [batch] *)
   root_rng : Rng.t;
   trace : Trace.t;
+  (* Reusable scratch for [Link.transmit_into] outcomes. *)
+  link_out : float array;
+  (* Reusable scratch for the [Sender] unboxed call protocol (see
+     [Sender.S_meta]): 0 = now, 1 = send_time, 2 = rtt, 3 = next-send
+     result. Safe to share across flows — each event handler fills it
+     before the sender call it guards, and sender calls don't nest. *)
+  meta : float array;
   mutable flows : flow list;
   mutable next_id : int;
   mutable audit : Audit.t option;
 }
 
-let create_topo ?(seed = 42) ?(trace = Trace.disabled) topo =
+let create_topo ?(seed = 42) ?(trace = Trace.disabled)
+    ?(kernel = Sim.Heap_kernel) topo =
   let root_rng = Rng.create ~seed in
-  let sim = Sim.create () in
+  let sim = Sim.create ~kernel () in
+  let batch = kernel = Sim.Wheel_kernel in
   (* Links are instantiated in id order with one RNG split each; for a
      dumbbell this is exactly the historical single split, preserving
      seeded runs bit-for-bit. Explicit loop: [Array.init]'s evaluation
@@ -78,19 +89,34 @@ let create_topo ?(seed = 42) ?(trace = Trace.disabled) topo =
   for i = 1 to n - 1 do
     links.(i) <- Link.create ~trace (Topology.link_config topo i) ~rng:(Rng.split root_rng)
   done;
+  (* Lane ids coincide with link ids (explicit creation order). *)
+  let lanes =
+    if not batch then [||]
+    else begin
+      let a = Array.make n (Sim.lane sim) in
+      for i = 1 to n - 1 do
+        a.(i) <- Sim.lane sim
+      done;
+      a
+    end
+  in
   {
     sim;
     links;
     classic = Topology.is_classic topo;
+    batch;
+    lanes;
     root_rng;
     trace;
+    link_out = Array.make 3 0.0;
+    meta = Array.make 4 0.0;
     flows = [];
     next_id = 0;
     audit = None;
   }
 
-let create ?seed ?trace link_cfg =
-  create_topo ?seed ?trace (Topology.dumbbell link_cfg)
+let create ?seed ?trace ?kernel link_cfg =
+  create_topo ?seed ?trace ?kernel (Topology.dumbbell link_cfg)
 
 let attach_audit ?trace t =
   let a = Audit.create ?trace ~obs:t.trace () in
@@ -153,11 +179,27 @@ let acquire_slot f =
     f.ring_free_len <- ncap - cap
   end;
   f.ring_free_len <- f.ring_free_len - 1;
-  f.ring_free.(f.ring_free_len)
+  (* Ring indices handed out here stay valid for the slot's lifetime:
+     the rings only grow, and every unsafe access below uses an index
+     that came from [acquire_slot] and has not been released yet. *)
+  Array.unsafe_get f.ring_free f.ring_free_len
 
 let release_slot f idx =
-  f.ring_free.(f.ring_free_len) <- idx;
+  Array.unsafe_set f.ring_free f.ring_free_len idx;
   f.ring_free_len <- f.ring_free_len + 1
+
+(* Schedule a packet-path event (ACK delivery, loss notification, hop
+   arrival) produced by [link]. Under the wheel kernel these ride the
+   link's lane — per-link delivery times are (nearly) nondecreasing, so
+   the FIFO fast path almost always applies and non-monotone stragglers
+   (reordering noise, loss notifications) fall back to the wheel/heap
+   inside [Sim.lane_push], keeping the global (time, seq) order exact
+   either way. *)
+let[@inline] sched_link t ~link ~time ~fn ~arg =
+  if t.batch then
+    Sim.lane_push t.sim t.lanes.(link) ~time ~seq:(Sim.reserve_seq t.sim) ~fn
+      ~arg
+  else Sim.at_fn t.sim ~time ~fn ~arg
 
 (* ---------- multi-hop forward progression ----------
 
@@ -189,7 +231,7 @@ let admit_hop t f idx =
       (match t.audit with
       | Some a -> Audit.on_hop_enter a ~link:link_id ~now
       | None -> ());
-      Sim.at_fn t.sim ~time:at ~fn:f.hop_fn ~arg:idx
+      sched_link t ~link:link_id ~time:at ~fn:f.hop_fn ~arg:idx
   | Link.Fwd_dropped ->
       (match t.audit with
       | Some a -> Audit.on_hop_drop a ~link:link_id ~now
@@ -201,7 +243,7 @@ let admit_hop t f idx =
       for j = 0 to Array.length f.route_rev - 1 do
         notify := !notify +. Link.one_way_delay t.links.(f.route_rev.(j))
       done;
-      Sim.at_fn t.sim ~time:!notify ~fn:f.loss_fn ~arg:idx
+      sched_link t ~link:link_id ~time:!notify ~fn:f.loss_fn ~arg:idx
 
 let deliver_multi t f idx =
   (* The packet just reached the receiver; walk the reverse route. *)
@@ -210,16 +252,25 @@ let deliver_multi t f idx =
   for j = 0 to Array.length f.route_rev - 1 do
     ack := Link.ack_transit t.links.(f.route_rev.(j)) ~now ~at:!ack
   done;
-  f.ring_rtt.(idx) <- !ack -. f.ring_send.(idx);
-  Sim.at_fn t.sim ~time:!ack ~fn:f.ack_fn ~arg:idx
+  Array.unsafe_set f.ring_rtt idx (!ack -. Array.unsafe_get f.ring_send idx);
+  (* ACK times on a reverse path are clamped by the last reverse link's
+     [free_at] (nondecreasing), so that link's lane is the natural home;
+     routes without reverse links deliver at [now], which is trivially
+     monotone on the final forward link's lane. *)
+  let lk =
+    if Array.length f.route_rev > 0 then
+      f.route_rev.(Array.length f.route_rev - 1)
+    else f.route_fwd.(Array.length f.route_fwd - 1)
+  in
+  sched_link t ~link:lk ~time:!ack ~fn:f.ack_fn ~arg:idx
 
 let on_hop_event t f idx =
-  let k = f.ring_hop.(idx) in
+  let k = Array.unsafe_get f.ring_hop idx in
   (match t.audit with
   | Some a -> Audit.on_hop_exit a ~link:(f.route_fwd.(k)) ~now:(Sim.now t.sim)
   | None -> ());
   if k + 1 < Array.length f.route_fwd then begin
-    f.ring_hop.(idx) <- k + 1;
+    Array.unsafe_set f.ring_hop idx (k + 1);
     admit_hop t f idx
   end
   else deliver_multi t f idx
@@ -230,24 +281,19 @@ let rec schedule_poll t f ~time =
     Sim.at_fn t.sim ~time ~fn:f.poll_fn ~arg:0
   end
 
-and poll t f =
-  if sending_allowed t f then begin
-    let now = Sim.now t.sim in
-    match Sender.next_send f.sender ~now with
-    | `Blocked -> f.blocked <- true
-    | `At time ->
-        if time <= now then send_burst t f 1 else schedule_poll t f ~time
-    | `Now -> send_burst t f burst_cap
-  end
+and poll t f = send_burst t f burst_cap
 
 and send_burst t f budget =
   if budget = 0 then schedule_poll t f ~time:(Sim.now t.sim)
   else if sending_allowed t f then begin
     let now = Sim.now t.sim in
-    match Sender.next_send f.sender ~now with
-    | `Blocked -> f.blocked <- true
-    | `At time -> if time <= now then transmit t f budget else schedule_poll t f ~time
-    | `Now -> transmit t f budget
+    let meta = t.meta in
+    meta.(0) <- now;
+    Sender.next_send_m f.sender ~meta;
+    let time = meta.(3) in
+    if time <= now then transmit t f budget
+    else if Float.is_finite time then schedule_poll t f ~time
+    else f.blocked <- true
   end
 
 and transmit t f budget =
@@ -257,7 +303,8 @@ and transmit t f budget =
   f.next_seq <- seq + 1;
   if f.remaining >= 0 then f.remaining <- f.remaining - size;
   Flow_stats.record_sent f.stats ~now ~size;
-  Sender.on_sent f.sender ~now ~seq ~size;
+  t.meta.(0) <- now;
+  Sender.on_sent_m f.sender ~meta:t.meta ~seq ~size;
   if Trace.enabled t.trace then begin
     Trace.emit t.trace ~time:now ~kind:Trace.Send ~flow:f.id ~seq
       ~a:(float_of_int size)
@@ -274,29 +321,31 @@ and transmit t f budget =
   | Some a -> Audit.on_sent a ~flow:f.id ~seq ~size ~now
   | None -> ());
   let idx = acquire_slot f in
-  f.ring_seq.(idx) <- seq;
-  f.ring_send.(idx) <- now;
-  f.ring_size.(idx) <- size;
-  (if t.classic then
-     match Link.transmit t.links.(0) ~now ~size with
-     | Link.Delivered { ack_time; rtt; dup_ack_time } ->
-         f.ring_rtt.(idx) <- rtt;
-         Sim.at_fn t.sim ~time:ack_time ~fn:f.ack_fn ~arg:idx;
-         if not (Float.is_nan dup_ack_time) then begin
-           (* Duplicate ACK: a second slot carries the same packet
-              identity so the dup fires through its own reusable handler
-              after the primary ACK. *)
-           let didx = acquire_slot f in
-           f.ring_seq.(didx) <- seq;
-           f.ring_send.(didx) <- now;
-           f.ring_size.(didx) <- size;
-           f.ring_rtt.(didx) <- dup_ack_time -. now;
-           Sim.at_fn t.sim ~time:dup_ack_time ~fn:f.dup_fn ~arg:didx
-         end
-     | Link.Dropped { notify_time } ->
-         Sim.at_fn t.sim ~time:notify_time ~fn:f.loss_fn ~arg:idx
+  Array.unsafe_set f.ring_seq idx seq;
+  Array.unsafe_set f.ring_send idx now;
+  Array.unsafe_set f.ring_size idx size;
+  (if t.classic then begin
+     let out = t.link_out in
+     if Link.transmit_into t.links.(0) ~now ~size ~out then begin
+       Array.unsafe_set f.ring_rtt idx out.(1);
+       sched_link t ~link:0 ~time:out.(0) ~fn:f.ack_fn ~arg:idx;
+       let dup_ack_time = out.(2) in
+       if not (Float.is_nan dup_ack_time) then begin
+         (* Duplicate ACK: a second slot carries the same packet
+            identity so the dup fires through its own reusable handler
+            after the primary ACK. *)
+         let didx = acquire_slot f in
+         Array.unsafe_set f.ring_seq didx seq;
+         Array.unsafe_set f.ring_send didx now;
+         Array.unsafe_set f.ring_size didx size;
+         Array.unsafe_set f.ring_rtt didx (dup_ack_time -. now);
+         sched_link t ~link:0 ~time:dup_ack_time ~fn:f.dup_fn ~arg:didx
+       end
+     end
+     else sched_link t ~link:0 ~time:out.(0) ~fn:f.loss_fn ~arg:idx
+   end
    else begin
-     f.ring_hop.(idx) <- 0;
+     Array.unsafe_set f.ring_hop idx 0;
      admit_hop t f idx
    end);
   (match t.audit with
@@ -312,12 +361,26 @@ and transmit t f budget =
    [schedule_poll] dedups, so this is a no-op when a poll is pending. *)
 and kick t f =
   f.blocked <- false;
-  if sending_allowed t f then schedule_poll t f ~time:(Sim.now t.sim)
+  if sending_allowed t f then begin
+    (* Wheel kernel: when no other event is due at this instant, a
+       zero-delay poll event would fire next with nothing in between —
+       run the poll body inline instead (the pending poll at time [now]
+       would carry a larger sequence number than anything queued, so
+       firing it here preserves the exact event order while skipping a
+       kernel round-trip per ACK). *)
+    if t.batch && (not f.poll_pending) && not (Sim.next_is_now t.sim) then
+      poll t f
+    else schedule_poll t f ~time:(Sim.now t.sim)
+  end
 
-and handle_ack t f ~seq ~send_time ~size ~rtt =
+(* [handle_ack]/[handle_dup_ack]/[handle_loss] read the float payload
+   (send_time, rtt) from [t.meta], pre-filled by the event adapters
+   below straight from the flow's ring arrays — unboxed stores feeding
+   the sender's unboxed call protocol. *)
+and handle_ack t f ~seq ~size =
   let now = Sim.now t.sim in
   if Trace.enabled t.trace then
-    Trace.emit t.trace ~time:now ~kind:Trace.Ack ~flow:f.id ~seq ~a:rtt
+    Trace.emit t.trace ~time:now ~kind:Trace.Ack ~flow:f.id ~seq ~a:t.meta.(2)
       ~b:(float_of_int size) ~note:"";
   (match t.audit with
   | Some a ->
@@ -326,8 +389,8 @@ and handle_ack t f ~seq ~send_time ~size ~rtt =
         ~backlog:(Link.backlog_bytes t.links.(f.route_fwd.(0)) ~now)
         ~now
   | None -> ());
-  Flow_stats.record_ack f.stats ~now ~size ~rtt;
-  Sender.on_ack f.sender ~now ~seq ~send_time ~size ~rtt;
+  Flow_stats.record_ack f.stats ~now ~size ~rtt:t.meta.(2);
+  Sender.on_ack_m f.sender ~meta:t.meta ~seq ~size;
   f.acked_bytes <- f.acked_bytes + size;
   (match f.on_ack_bytes with Some cb -> cb ~now size | None -> ());
   (if f.total_bytes >= 0 && (not f.complete) && f.acked_bytes >= f.total_bytes
@@ -338,11 +401,11 @@ and handle_ack t f ~seq ~send_time ~size ~rtt =
    end);
   kick t f
 
-and handle_dup_ack t f ~seq ~send_time ~size ~rtt =
+and handle_dup_ack t f ~seq ~size =
   let now = Sim.now t.sim in
   if Trace.enabled t.trace then
-    Trace.emit t.trace ~time:now ~kind:Trace.Dup_ack ~flow:f.id ~seq ~a:rtt
-      ~b:(float_of_int size) ~note:"";
+    Trace.emit t.trace ~time:now ~kind:Trace.Dup_ack ~flow:f.id ~seq
+      ~a:t.meta.(2) ~b:(float_of_int size) ~note:"";
   (match t.audit with
   | Some a -> Audit.on_dup_ack a ~flow:f.id ~seq ~now
   | None -> ());
@@ -350,10 +413,10 @@ and handle_dup_ack t f ~seq ~send_time ~size ~rtt =
      and the dup counter, but is invisible to the application: no
      goodput, no completion progress. *)
   Flow_stats.record_dup_ack f.stats ~now;
-  Sender.on_ack f.sender ~now ~seq ~send_time ~size ~rtt;
+  Sender.on_ack_m f.sender ~meta:t.meta ~seq ~size;
   kick t f
 
-and handle_loss t f ~seq ~send_time ~size ~hop =
+and handle_loss t f ~seq ~size ~hop =
   let now = Sim.now t.sim in
   if Trace.enabled t.trace then
     Trace.emit t.trace ~time:now ~kind:Trace.Loss ~flow:f.id ~seq
@@ -367,35 +430,41 @@ and handle_loss t f ~seq ~send_time ~size ~hop =
         ~now
   | None -> ());
   Flow_stats.record_loss ~hop f.stats ~now ~size;
-  Sender.on_loss f.sender ~now ~seq ~send_time ~size;
+  Sender.on_loss_m f.sender ~meta:t.meta ~seq ~size;
   (* Reliable delivery for finite flows: the lost bytes re-enter the
      send budget (retransmission). *)
   if f.total_bytes >= 0 then f.remaining <- f.remaining + size;
   kick t f
 
 let on_ack_event t f idx =
-  let seq = f.ring_seq.(idx)
-  and send_time = f.ring_send.(idx)
-  and size = f.ring_size.(idx)
-  and rtt = f.ring_rtt.(idx) in
+  let m = t.meta in
+  m.(0) <- Sim.now t.sim;
+  m.(1) <- Array.unsafe_get f.ring_send idx;
+  m.(2) <- Array.unsafe_get f.ring_rtt idx;
+  let seq = Array.unsafe_get f.ring_seq idx
+  and size = Array.unsafe_get f.ring_size idx in
   release_slot f idx;
-  handle_ack t f ~seq ~send_time ~size ~rtt
+  handle_ack t f ~seq ~size
 
 let on_loss_event t f idx =
-  let seq = f.ring_seq.(idx)
-  and send_time = f.ring_send.(idx)
-  and size = f.ring_size.(idx)
-  and hop = f.route_fwd.(f.ring_hop.(idx)) in
+  let m = t.meta in
+  m.(0) <- Sim.now t.sim;
+  m.(1) <- Array.unsafe_get f.ring_send idx;
+  let seq = Array.unsafe_get f.ring_seq idx
+  and size = Array.unsafe_get f.ring_size idx
+  and hop = f.route_fwd.(Array.unsafe_get f.ring_hop idx) in
   release_slot f idx;
-  handle_loss t f ~seq ~send_time ~size ~hop
+  handle_loss t f ~seq ~size ~hop
 
 let on_dup_ack_event t f idx =
-  let seq = f.ring_seq.(idx)
-  and send_time = f.ring_send.(idx)
-  and size = f.ring_size.(idx)
-  and rtt = f.ring_rtt.(idx) in
+  let m = t.meta in
+  m.(0) <- Sim.now t.sim;
+  m.(1) <- Array.unsafe_get f.ring_send idx;
+  m.(2) <- Array.unsafe_get f.ring_rtt idx;
+  let seq = Array.unsafe_get f.ring_seq idx
+  and size = Array.unsafe_get f.ring_size idx in
   release_slot f idx;
-  handle_dup_ack t f ~seq ~send_time ~size ~rtt
+  handle_dup_ack t f ~seq ~size
 
 let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes ?route
     t ~label ~factory =
@@ -494,6 +563,15 @@ let snapshot_metrics t reg =
     (Metrics.counter reg "sim.events-scheduled");
   Metrics.incr ~by:(Sim.events_fired t.sim) (Metrics.counter reg "sim.events-fired");
   Metrics.incr ~by:(Sim.max_queued t.sim) (Metrics.counter reg "sim.max-queued");
+  Metrics.set (Metrics.gauge reg "sim.pending") (float_of_int (Sim.pending t.sim));
+  Metrics.set (Metrics.gauge reg "sim.queued") (float_of_int (Sim.queued t.sim));
+  Metrics.incr ~by:(Sim.wheel_ticks t.sim) (Metrics.counter reg "sim.wheel-ticks");
+  Metrics.incr
+    ~by:(Sim.wheel_cascades t.sim)
+    (Metrics.counter reg "sim.wheel-cascades");
+  Metrics.set
+    (Metrics.gauge reg "sim.wheel-max-occupancy")
+    (float_of_int (Sim.wheel_max_occupancy t.sim));
   if Trace.enabled t.trace then begin
     Metrics.incr ~by:(Trace.total_emitted t.trace)
       (Metrics.counter reg "trace.emitted");

@@ -26,7 +26,12 @@
 type t
 type flow
 
-val create : ?seed:int -> ?trace:Proteus_obs.Trace.t -> Link.config -> t
+val create :
+  ?seed:int ->
+  ?trace:Proteus_obs.Trace.t ->
+  ?kernel:Proteus_eventsim.Sim.kernel ->
+  Link.config ->
+  t
 (** Fresh classic scenario over a single bottleneck link — shorthand for
     [create_topo (Topology.dumbbell cfg)]. The seed (default 42)
     determines all randomness: link loss, noise, sender probing order,
@@ -36,12 +41,27 @@ val create : ?seed:int -> ?trace:Proteus_obs.Trace.t -> Link.config -> t
     transitions, and senders receive the same bus through their
     {!Sender.env}. Tracing consumes no randomness and never alters
     control flow, so seeded runs are bit-identical with tracing on or
-    off. *)
+    off.
 
-val create_topo : ?seed:int -> ?trace:Proteus_obs.Trace.t -> Topology.t -> t
+    [kernel] selects the event-kernel backend (default
+    [Sim.Heap_kernel], bit-identical to the historical runner). Under
+    [Sim.Wheel_kernel] the runner schedules packet-path events through
+    per-link lanes and a hierarchical timing wheel and runs post-ACK
+    polls inline when no other event is due — the same events fire in
+    the same order at the same times, substantially faster; only the
+    kernel's internal bookkeeping (and thus counters like
+    [events_scheduled]) differs. *)
+
+val create_topo :
+  ?seed:int ->
+  ?trace:Proteus_obs.Trace.t ->
+  ?kernel:Proteus_eventsim.Sim.kernel ->
+  Topology.t ->
+  t
 (** Fresh scenario over a {!Topology}. Links are instantiated in id
     order, each with its own stream split from the seed, so a
-    [Topology.dumbbell] reproduces {!create} bit-for-bit. *)
+    [Topology.dumbbell] reproduces {!create} bit-for-bit. [kernel] as
+    in {!create}. *)
 
 val sim : t -> Proteus_eventsim.Sim.t
 

@@ -1,20 +1,24 @@
-type t = { alpha : float; mutable avg : float option }
+(* The average is stored as a raw float with NaN standing for "no
+   samples yet". An all-float record gets the flat (unboxed-field)
+   representation, so [update] — called per ACK on the simulator's hot
+   path — stores in place and allocates nothing. *)
+type t = { alpha : float; mutable avg : float }
 
 let create ~alpha =
   if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Ewma.create: alpha";
-  { alpha; avg = None }
+  { alpha; avg = Float.nan }
 
-let update t x =
-  match t.avg with
-  | None -> t.avg <- Some x
-  | Some a -> t.avg <- Some (((1.0 -. t.alpha) *. a) +. (t.alpha *. x))
+let[@inline] update t x =
+  if Float.is_nan t.avg then t.avg <- x
+  else t.avg <- ((1.0 -. t.alpha) *. t.avg) +. (t.alpha *. x)
 
-let value t = t.avg
+let value t = if Float.is_nan t.avg then None else Some t.avg
 
 let value_exn t =
-  match t.avg with
-  | Some a -> a
-  | None -> invalid_arg "Ewma.value_exn: no samples"
+  if Float.is_nan t.avg then invalid_arg "Ewma.value_exn: no samples"
+  else t.avg
+
+let[@inline] value_nan t = t.avg
 
 module Mean_dev = struct
   type nonrec t = {
@@ -27,9 +31,8 @@ module Mean_dev = struct
     { mean = create ~alpha; dev = create ~alpha:beta; n = 0 }
 
   let update t x =
-    (match t.mean.avg with
-    | None -> ()
-    | Some m -> update t.dev (Float.abs (x -. m)));
+    if not (Float.is_nan t.mean.avg) then
+      update t.dev (Float.abs (x -. t.mean.avg));
     update t.mean x;
     t.n <- t.n + 1
 

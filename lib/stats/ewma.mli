@@ -20,6 +20,10 @@ val value : t -> float option
 val value_exn : t -> float
 (** Current average; raises [Invalid_argument] before the first sample. *)
 
+val value_nan : t -> float
+(** Current average, [Float.nan] before the first sample. Allocation-free
+    variant of {!value} for per-packet hot paths. *)
+
 module Mean_dev : sig
   type t
   (** Tracks an EWMA of samples and an EWMA of the absolute deviation of

@@ -3,13 +3,15 @@ type t = { mutable data : float array; mutable len : int }
 let create ?(capacity = 64) () = { data = Array.make (max 1 capacity) 0.0; len = 0 }
 let length t = t.len
 
-let push t x =
-  if t.len = Array.length t.data then begin
-    let ndata = Array.make (2 * t.len) 0.0 in
-    Array.blit t.data 0 ndata 0 t.len;
-    t.data <- ndata
-  end;
-  t.data.(t.len) <- x;
+let grow t =
+  let ndata = Array.make (2 * t.len) 0.0 in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+let[@inline] push t x =
+  if t.len = Array.length t.data then grow t;
+  (* The guard above guarantees [len < length data]. *)
+  Array.unsafe_set t.data t.len x;
   t.len <- t.len + 1
 
 let get t i =

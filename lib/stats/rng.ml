@@ -19,7 +19,7 @@ let split_at t ~key = create ~seed:(t.seed * 999_983 + (key * 6_700_417) + 29)
 let float t bound = Random.State.float t.state bound
 let int t bound = Random.State.int t.state bound
 let bool t = Random.State.bool t.state
-let bernoulli t ~p = p > 0. && Random.State.float t.state 1.0 < p
+let[@inline] bernoulli t ~p = p > 0. && Random.State.float t.state 1.0 < p
 let uniform t ~lo ~hi = lo +. Random.State.float t.state (hi -. lo)
 
 let exponential t ~mean =

@@ -21,18 +21,19 @@ let drive ?(seconds = 30.0) ~rtt_of config =
   let seq = ref 0 in
   let rec pump () =
     let now = Sim.now sim in
-    match Controller.next_send c ~now with
-    | `Now ->
-        let s = !seq in
-        incr seq;
-        Controller.on_sent c ~now ~seq:s ~size:1500;
-        let rtt = rtt_of now (Controller.rate_mbps c) in
-        Sim.after sim ~delay:rtt (fun () ->
-            Controller.on_ack c ~now:(Sim.now sim) ~seq:s ~send_time:now
-              ~size:1500 ~rtt);
-        pump ()
-    | `At time -> Sim.at sim ~time pump
-    | `Blocked -> Alcotest.fail "rate-based controller must never block"
+    let ts = Controller.next_send c ~now in
+    if ts <= now then begin
+      let s = !seq in
+      incr seq;
+      Controller.on_sent c ~now ~seq:s ~size:1500;
+      let rtt = rtt_of now (Controller.rate_mbps c) in
+      Sim.after sim ~delay:rtt (fun () ->
+          Controller.on_ack c ~now:(Sim.now sim) ~seq:s ~send_time:now
+            ~size:1500 ~rtt);
+      pump ()
+    end
+    else if Float.is_finite ts then Sim.at sim ~time:ts pump
+    else Alcotest.fail "rate-based controller must never block"
   in
   pump ();
   Sim.run ~until:seconds sim;
@@ -88,16 +89,17 @@ let test_pacing_follows_rate () =
   let sent = ref 0 in
   let rec pump () =
     let now = Sim.now sim in
-    match Controller.next_send c ~now with
-    | `Now ->
-        incr sent;
-        Controller.on_sent c ~now ~seq:!sent ~size:1500;
-        Sim.after sim ~delay:0.03 (fun () ->
-            Controller.on_ack c ~now:(Sim.now sim) ~seq:!sent ~send_time:now
-              ~size:1500 ~rtt:0.03);
-        pump ()
-    | `At time -> Sim.at sim ~time pump
-    | `Blocked -> Alcotest.fail "blocked"
+    let ts = Controller.next_send c ~now in
+    if ts <= now then begin
+      incr sent;
+      Controller.on_sent c ~now ~seq:!sent ~size:1500;
+      Sim.after sim ~delay:0.03 (fun () ->
+          Controller.on_ack c ~now:(Sim.now sim) ~seq:!sent ~send_time:now
+            ~size:1500 ~rtt:0.03);
+      pump ()
+    end
+    else if Float.is_finite ts then Sim.at sim ~time:ts pump
+    else Alcotest.fail "blocked"
   in
   pump ();
   Sim.run ~until:10.0 sim;

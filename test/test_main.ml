@@ -6,6 +6,7 @@ let () =
     [
       ("stats", Test_stats.suite);
       ("eventsim", Test_eventsim.suite);
+      ("wheel", Test_wheel.suite);
       ("obs", Test_obs.suite);
       ("net", Test_net.suite);
       ("topology", Test_topology.suite);

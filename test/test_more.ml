@@ -17,21 +17,18 @@ let test_pack_delegates () =
   let env = Net.Sender.make_env ~rng:(Rng.create ~seed:1) ~mtu:1500 () in
   let packed = Proteus_cc.Cubic.factory () env in
   Alcotest.(check string) "name" "cubic" (Net.Sender.name packed);
-  (match Net.Sender.next_send packed ~now:0.0 with
-  | `Now -> ()
-  | _ -> Alcotest.fail "fresh cubic should send");
+  if Net.Sender.next_send packed ~now:0.0 > 0.0 then
+    Alcotest.fail "fresh cubic should send";
   (* Drive the window closed through the packed interface. *)
   for seq = 0 to 9 do
     Net.Sender.on_sent packed ~now:0.0 ~seq ~size:1500
   done;
-  (match Net.Sender.next_send packed ~now:0.0 with
-  | `Blocked -> ()
-  | _ -> Alcotest.fail "window should be full");
+  if Float.is_finite (Net.Sender.next_send packed ~now:0.0) then
+    Alcotest.fail "window should be full";
   Net.Sender.on_ack packed ~now:0.05 ~seq:0 ~send_time:0.0 ~size:1500
     ~rtt:0.05;
-  match Net.Sender.next_send packed ~now:0.05 with
-  | `Now -> ()
-  | _ -> Alcotest.fail "ack should reopen the window"
+  if Net.Sender.next_send packed ~now:0.05 > 0.05 then
+    Alcotest.fail "ack should reopen the window"
 
 let test_proteus_sender_names () =
   let env () = Net.Sender.make_env ~rng:(Rng.create ~seed:1) ~mtu:1500 () in
