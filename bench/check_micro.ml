@@ -1,15 +1,21 @@
-(* Bench-regression gate: compare a fresh micro run's
-   [sim_seconds_per_wall_second] headline against a committed baseline
-   BENCH_micro.json and fail (exit 1) when any kernel/shape pair
-   regressed by more than the threshold. The threshold is generous —
-   micro timings on shared CI runners are noisy — so only a real
-   slowdown (or an accidentally-committed stale baseline) trips it.
+(* Bench-regression gate: compare a fresh run's headline object against
+   a committed baseline and fail (exit 1) when any key regressed by
+   more than its tolerance. Understands both headline shapes:
 
-     check_micro.exe BASELINE.json FRESH.json [--threshold 0.25]
+   - BENCH_micro.json:  "sim_seconds_per_wall_second": {kernel/shape: N}
+   - BENCH_scale.json:  "flow_seconds_per_wall_second": {"scale": N}
+
+   The default threshold is generous — timings on shared CI runners are
+   noisy — so only a real slowdown (or an accidentally-committed stale
+   baseline) trips it. Per-key overrides tighten or loosen individual
+   entries:
+
+     check_micro.exe BASELINE.json FRESH.json
+       [--threshold 0.25] [--tol key=frac]...
 
    The parser is deliberately minimal (no JSON dependency): it extracts
-   the flat {"key": number} pairs inside the headline object that
-   bench/exp_micro.ml itself writes. *)
+   the flat {"key": number} pairs inside the headline object the bench
+   emitters themselves write. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -18,14 +24,23 @@ let read_file path =
   close_in ic;
   s
 
+let anchors =
+  [ "\"sim_seconds_per_wall_second\""; "\"flow_seconds_per_wall_second\"" ]
+
 let headline path =
   let s = read_file path in
-  let anchor = "\"sim_seconds_per_wall_second\"" in
   let start =
-    try Str.search_forward (Str.regexp_string anchor) s 0
-    with Not_found ->
-      Printf.eprintf "check_micro: no %s in %s\n" anchor path;
-      exit 2
+    let rec try_anchors = function
+      | [] ->
+          Printf.eprintf "check_micro: no headline anchor (%s) in %s\n"
+            (String.concat " / " anchors)
+            path;
+          exit 2
+      | a :: rest -> (
+          try Str.search_forward (Str.regexp_string a) s 0
+          with Not_found -> try_anchors rest)
+    in
+    try_anchors anchors
   in
   let obj_start = String.index_from s start '{' + 1 in
   let obj_end = String.index_from s obj_start '}' in
@@ -39,20 +54,49 @@ let headline path =
              | None -> None)
          | _ -> None)
 
+let usage () =
+  prerr_endline
+    "usage: check_micro BASELINE.json FRESH.json [--threshold 0.25] [--tol \
+     key=frac]...";
+  exit 2
+
 let () =
-  let args = Array.to_list Sys.argv in
-  let threshold =
-    match args with
-    | _ :: _ :: _ :: "--threshold" :: t :: _ -> float_of_string t
-    | _ -> 0.25
+  let threshold = ref 0.25 in
+  let tols : (string * float) list ref = ref [] in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: t :: rest -> (
+        match float_of_string_opt t with
+        | Some v when v > 0.0 ->
+            threshold := v;
+            parse rest
+        | _ ->
+            Printf.eprintf "check_micro: bad --threshold %S\n" t;
+            exit 2)
+    | "--tol" :: kv :: rest -> (
+        match String.index_opt kv '=' with
+        | Some i -> (
+            let key = String.sub kv 0 i in
+            let frac = String.sub kv (i + 1) (String.length kv - i - 1) in
+            match float_of_string_opt frac with
+            | Some v when v > 0.0 ->
+                tols := (key, v) :: !tols;
+                parse rest
+            | _ ->
+                Printf.eprintf "check_micro: bad --tol fraction in %S\n" kv;
+                exit 2)
+        | None ->
+            Printf.eprintf "check_micro: --tol expects key=frac, got %S\n" kv;
+            exit 2)
+    | [ ("--threshold" | "--tol") ] -> usage ()
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
   in
+  parse (List.tl (Array.to_list Sys.argv));
   let baseline_path, fresh_path =
-    match args with
-    | _ :: b :: f :: _ -> (b, f)
-    | _ ->
-        prerr_endline
-          "usage: check_micro BASELINE.json FRESH.json [--threshold 0.25]";
-        exit 2
+    match List.rev !paths with [ b; f ] -> (b, f) | _ -> usage ()
   in
   let baseline = headline baseline_path in
   let fresh = headline fresh_path in
@@ -63,6 +107,9 @@ let () =
   let failed = ref false in
   List.iter
     (fun (key, base) ->
+      let tol =
+        match List.assoc_opt key !tols with Some t -> t | None -> !threshold
+      in
       match List.assoc_opt key fresh with
       | None ->
           Printf.printf "  %-18s baseline %10.1f  -> MISSING from fresh run\n"
@@ -70,17 +117,15 @@ let () =
           failed := true
       | Some f ->
           let change = (f -. base) /. base in
-          let bad = change < -.threshold in
-          Printf.printf "  %-18s baseline %10.1f  fresh %10.1f  (%+.1f%%)%s\n"
-            key base f (100.0 *. change)
+          let bad = change < -.tol in
+          Printf.printf
+            "  %-18s baseline %10.1f  fresh %10.1f  (%+.1f%%, tol %.0f%%)%s\n"
+            key base f (100.0 *. change) (100.0 *. tol)
             (if bad then "  REGRESSION" else "");
           if bad then failed := true)
     baseline;
   if !failed then begin
-    Printf.eprintf
-      "check_micro: sim_seconds_per_wall_second regressed by more than %.0f%%\n"
-      (100.0 *. threshold);
+    Printf.eprintf "check_micro: headline regressed beyond tolerance\n";
     exit 1
   end;
-  Printf.printf "check_micro: headline within %.0f%% of baseline\n"
-    (100.0 *. threshold)
+  Printf.printf "check_micro: headline within tolerance of baseline\n"

@@ -16,9 +16,23 @@ let scale = ref Default
 let pick ~fast ~default ~full =
   match !scale with Fast -> fast | Default -> default | Full -> full
 
-let trials () = pick ~fast:1 ~default:3 ~full:10
+(* `--trials N` overrides the scale-derived trial count (clamped to 64
+   by the CLI: the sweeps' [Rng.split_at] key spaces reserve 64 slots
+   per trial index). *)
+let trials_override : int option ref = ref None
+
+let trials () =
+  match !trials_override with
+  | Some n -> n
+  | None -> pick ~fast:1 ~default:3 ~full:10
+
 let single_duration () = pick ~fast:25.0 ~default:60.0 ~full:100.0
 let pair_duration () = pick ~fast:40.0 ~default:80.0 ~full:140.0
+
+(* `--shards N`: shard count for the intra-trial sharded experiments
+   (exp_scale). Results are byte-identical for any value (see
+   lib/net/shard.mli); the knob only trades wall-clock. *)
+let shards = ref 4
 
 let scale_name () =
   match !scale with Fast -> "fast" | Default -> "default" | Full -> "full"
@@ -48,7 +62,11 @@ let metrics_file : string option ref = ref None
    widths; the scale knob changes the numbers, so it is included. *)
 let emit_manifest ?seed ?(params = []) ?metrics ?registry id =
   let path = "MANIFEST_" ^ id ^ ".json" in
+  (* The kernel choice is a first-class manifest field (and stays in
+     params for older consumers): every run records which event-kernel
+     backend produced it. *)
   Proteus_obs.Manifest.write ~path ~run:id ?seed ~scenario:id
+    ~kernel:(kernel_name ())
     ~params:(("scale", scale_name ()) :: ("kernel", kernel_name ()) :: params)
     ?metrics ?registry ();
   Printf.printf "(wrote %s)\n" path
@@ -143,6 +161,28 @@ let single_run ?(seed = 1) ?loss_rate ?noise ?(bandwidth_mbps = 50.0)
 let avg_trials n f =
   let xs = par_map f (List.init n (fun i -> i + 1)) in
   D.mean (Array.of_list xs)
+
+(* Mean and normal-approximation 95% confidence half-width
+   (1.96 * s / sqrt n, with s the sample standard deviation). The
+   half-width is 0 for fewer than two samples — a single trial carries
+   no spread information. *)
+let mean_ci95 xs =
+  let n = Array.length xs in
+  if n = 0 then (0.0, 0.0)
+  else
+    let mean = D.mean xs in
+    if n < 2 then (mean, 0.0)
+    else begin
+      let nf = float_of_int n in
+      let sq = ref 0.0 in
+      Array.iter
+        (fun x ->
+          let d = x -. mean in
+          sq := !sq +. (d *. d))
+        xs;
+      let sample_var = !sq /. (nf -. 1.0) in
+      (mean, 1.96 *. sqrt sample_var /. sqrt nf)
+    end
 
 let single_avg ?loss_rate ?noise ?bandwidth_mbps ?rtt_ms ?buffer_bytes
     (p : proto) =

@@ -181,6 +181,11 @@ type row = {
   scenario : string;
   cc : string;
   mean : run_result;
+  (* 95% confidence half-widths over trials (0 with fewer than two). *)
+  pre_ci : float;
+  post_ci : float;
+  recov_ci : float;
+  fair_ci : float;
   recovered : int;  (* trials whose goodput got back over the bar *)
   trials : int;
 }
@@ -219,27 +224,43 @@ let sweep () =
                    if si' = si && pi' = pi then Some r else None)
                  results
              in
-             let avg f = D.mean (Array.of_list (List.map f mine)) in
+             let arr f = Array.of_list (List.map f mine) in
+             let avg f = D.mean (arr f) in
              let recoveries =
                List.filter_map (fun r -> r.recovery_s) mine
+             in
+             let pre_m, pre_ci =
+               Exp_common.mean_ci95 (arr (fun r -> r.prefault_mbps))
+             in
+             let post_m, post_ci =
+               Exp_common.mean_ci95 (arr (fun r -> r.postfault_mbps))
+             in
+             let fair_m, fair_ci =
+               Exp_common.mean_ci95 (arr (fun r -> r.fairness_jain))
+             in
+             let recov_m, recov_ci =
+               Exp_common.mean_ci95 (Array.of_list recoveries)
              in
              {
                scenario = sc.sid;
                cc = p.name;
                mean =
                  {
-                   prefault_mbps = avg (fun r -> r.prefault_mbps);
-                   postfault_mbps = avg (fun r -> r.postfault_mbps);
+                   prefault_mbps = pre_m;
+                   postfault_mbps = post_m;
                    recovery_s =
-                     (if recoveries = [] then None
-                      else Some (D.mean (Array.of_list recoveries)));
-                   fairness_jain = avg (fun r -> r.fairness_jain);
+                     (if recoveries = [] then None else Some recov_m);
+                   fairness_jain = fair_m;
                    loss_frac = avg (fun r -> r.loss_frac);
                    audited_events =
                      List.fold_left
                        (fun acc r -> acc + r.audited_events)
                        0 mine;
                  };
+               pre_ci;
+               post_ci;
+               recov_ci;
+               fair_ci;
                recovered = List.length recoveries;
                trials = List.length mine;
              })
@@ -256,6 +277,7 @@ let emit_json rows =
   output_string oc "{\n  \"schema\": \"pcc-proteus-bench-faults/1\",\n";
   Printf.fprintf oc "  \"code_version\": \"%s\",\n"
     (Proteus_obs.Manifest.code_version ());
+  Printf.fprintf oc "  \"kernel\": \"%s\",\n" (Exp_common.kernel_name ());
   Printf.fprintf oc
     "  \"config\": {\"bandwidth_mbps\": %g, \"rtt_ms\": 30, \
      \"buffer_bytes\": 150000, \"duration_s\": %g, \"fault_start_s\": %g, \
@@ -266,17 +288,24 @@ let emit_json rows =
     (fun i r ->
       Printf.fprintf oc
         "    {\"scenario\": \"%s\", \"cc\": \"%s\", \"prefault_mbps\": %s, \
-         \"postfault_mbps\": %s, \"recovery_s\": %s, \"recovered\": %d, \
-         \"trials\": %d, \"fairness_jain\": %s, \"loss_frac\": %s, \
-         \"audited_events\": %d}%s\n"
+         \"prefault_ci95\": %s, \"postfault_mbps\": %s, \"postfault_ci95\": \
+         %s, \"recovery_s\": %s, \"recovery_ci95\": %s, \"recovered\": %d, \
+         \"trials\": %d, \"fairness_jain\": %s, \"fairness_ci95\": %s, \
+         \"loss_frac\": %s, \"audited_events\": %d}%s\n"
         r.scenario r.cc
         (json_num r.mean.prefault_mbps)
+        (json_num r.pre_ci)
         (json_num r.mean.postfault_mbps)
+        (json_num r.post_ci)
         (match r.mean.recovery_s with
         | Some v -> json_num v
         | None -> "null")
+        (match r.mean.recovery_s with
+        | Some _ -> json_num r.recov_ci
+        | None -> "null")
         r.recovered r.trials
         (json_num r.mean.fairness_jain)
+        (json_num r.fair_ci)
         (json_num r.mean.loss_frac)
         r.mean.audited_events
         (if i = List.length rows - 1 then "" else ","))

@@ -144,6 +144,10 @@ type row = {
   cc : string;
   mean : flow_summary;
   harm : float;
+  (* 95% confidence half-widths over trials (0 with fewer than two). *)
+  tput_ci : float;
+  rtt_ci : float;
+  harm_ci : float;
   trials : int;
 }
 
@@ -207,18 +211,27 @@ let sweep () =
                in
                Float.max 0.0 (1.0 -. D.mean ratios)
              in
-             let avg f = D.mean (Array.of_list (List.map f mine)) in
-             let e2e f = avg (fun (_, r) -> f (Option.get r.e2e)) in
+             let arr f = Array.of_list (List.map f mine) in
+             let e2e_ci f =
+               Exp_common.mean_ci95 (arr (fun (_, r) -> f (Option.get r.e2e)))
+             in
+             let tput_m, tput_ci = e2e_ci (fun s -> s.tput) in
+             let rtt_m, rtt_ci = e2e_ci (fun s -> s.mean_rtt_ms) in
+             let loss_m, _ = e2e_ci (fun s -> s.loss_frac) in
+             let harm_m, harm_ci = Exp_common.mean_ci95 (arr harm_of) in
              {
                scenario = sc.sid;
                cc = p.Exp_common.name;
                mean =
                  {
-                   tput = e2e (fun s -> s.tput);
-                   mean_rtt_ms = e2e (fun s -> s.mean_rtt_ms);
-                   loss_frac = e2e (fun s -> s.loss_frac);
+                   tput = tput_m;
+                   mean_rtt_ms = rtt_m;
+                   loss_frac = loss_m;
                  };
-               harm = avg harm_of;
+               harm = harm_m;
+               tput_ci;
+               rtt_ci;
+               harm_ci;
                trials = List.length mine;
              })
            protos)
@@ -234,6 +247,7 @@ let emit_json rows =
   output_string oc "{\n  \"schema\": \"pcc-proteus-bench-topology/1\",\n";
   Printf.fprintf oc "  \"code_version\": \"%s\",\n"
     (Proteus_obs.Manifest.code_version ());
+  Printf.fprintf oc "  \"kernel\": \"%s\",\n" (Exp_common.kernel_name ());
   Printf.fprintf oc
     "  \"config\": {\"parking_hops\": %d, \"hop_bandwidth_mbps\": %g, \
      \"rev_bandwidth_mbps\": %g, \"duration_s\": %g},\n"
@@ -243,11 +257,14 @@ let emit_json rows =
     (fun i r ->
       Printf.fprintf oc
         "    {\"scenario\": \"%s\", \"cc\": \"%s\", \"tput_mbps\": %s, \
-         \"mean_rtt_ms\": %s, \"loss_frac\": %s, \"scavenger_harm\": %s, \
+         \"tput_ci95\": %s, \"mean_rtt_ms\": %s, \"rtt_ci95\": %s, \
+         \"loss_frac\": %s, \"scavenger_harm\": %s, \"harm_ci95\": %s, \
          \"trials\": %d}%s\n"
-        r.scenario r.cc (json_num r.mean.tput)
+        r.scenario r.cc (json_num r.mean.tput) (json_num r.tput_ci)
         (json_num r.mean.mean_rtt_ms)
-        (json_num r.mean.loss_frac) (json_num r.harm) r.trials
+        (json_num r.rtt_ci)
+        (json_num r.mean.loss_frac) (json_num r.harm) (json_num r.harm_ci)
+        r.trials
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";

@@ -42,6 +42,8 @@ let experiments : (string * (unit -> unit)) list =
     ("faults-smoke", Exp_faults.smoke);
     ("topology", Exp_topology.run);
     ("topology-smoke", Exp_topology.smoke);
+    ("scale", Exp_scale.run);
+    ("scale-smoke", Exp_scale.smoke);
   ]
 
 let appendix_ids =
@@ -59,7 +61,10 @@ let usage () =
     \  --trace FILE   export the trace bus (JSONL, or CSV if FILE ends\n\
     \                 in .csv) from trace-capable experiments\n\
     \  --metrics FILE export a metrics-registry snapshot (JSON)\n\
-    \  --kernel K     event-kernel backend: heap (default) or wheel\n"
+    \  --kernel K     event-kernel backend: heap (default) or wheel\n\
+    \  --trials N     override the scale-derived trial count (1..64)\n\
+    \  --shards N     shard count for intra-trial sharded experiments\n\
+    \                 (scale; byte-identical for any N, default 4)\n"
 
 let parse_kernel s =
   match s with
@@ -75,6 +80,22 @@ let parse_jobs s =
   | Some n when n > 0 -> n
   | _ ->
       Printf.eprintf "--jobs expects a non-negative integer, got %S\n" s;
+      exit 1
+
+(* The sweeps' [Rng.split_at] key spaces reserve 64 slots per trial
+   index, so an override past that would alias seeds across tasks. *)
+let parse_trials s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 && n <= 64 -> n
+  | _ ->
+      Printf.eprintf "--trials expects an integer in 1..64, got %S\n" s;
+      exit 1
+
+let parse_shards s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | _ ->
+      Printf.eprintf "--shards expects a positive integer, got %S\n" s;
       exit 1
 
 let () =
@@ -102,8 +123,15 @@ let () =
     | "--kernel" :: k :: rest ->
         Exp_common.kernel := parse_kernel k;
         parse acc rest
-    | [ ("--trace" | "--metrics" | "--kernel") ] ->
-        Printf.eprintf "--trace/--metrics/--kernel expect an argument\n";
+    | "--trials" :: n :: rest ->
+        Exp_common.trials_override := Some (parse_trials n);
+        parse acc rest
+    | "--shards" :: n :: rest ->
+        Exp_common.shards := parse_shards n;
+        parse acc rest
+    | [ ("--trace" | "--metrics" | "--kernel" | "--trials" | "--shards") ] ->
+        Printf.eprintf
+          "--trace/--metrics/--kernel/--trials/--shards expect an argument\n";
         exit 1
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -122,6 +150,13 @@ let () =
     | a :: rest when String.length a > 9 && String.sub a 0 9 = "--kernel=" ->
         Exp_common.kernel := parse_kernel (String.sub a 9 (String.length a - 9));
         parse acc rest
+    | a :: rest when String.length a > 9 && String.sub a 0 9 = "--trials=" ->
+        Exp_common.trials_override :=
+          Some (parse_trials (String.sub a 9 (String.length a - 9)));
+        parse acc rest
+    | a :: rest when String.length a > 9 && String.sub a 0 9 = "--shards=" ->
+        Exp_common.shards := parse_shards (String.sub a 9 (String.length a - 9));
+        parse acc rest
     | id :: rest -> parse (id :: acc) rest
   in
   let ids = parse [] args in
@@ -131,12 +166,15 @@ let () =
       (fun id ->
         match id with
         (* "all" skips the smoke entries: they are subsets of the full
-           sweeps and exist for the @faults-smoke / @topology-smoke
-           aliases. *)
+           sweeps and exist for the @faults-smoke / @topology-smoke /
+           @scale-smoke aliases. *)
         | "all" ->
             List.filter_map
               (fun (id, _) ->
-                if id = "faults-smoke" || id = "topology-smoke" then None
+                if
+                  id = "faults-smoke" || id = "topology-smoke"
+                  || id = "scale-smoke"
+                then None
                 else Some id)
               experiments
         | "appendix" -> appendix_ids

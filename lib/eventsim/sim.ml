@@ -65,6 +65,7 @@ type t = {
   mutable n_lanes : int;
   mutable lane_total : int; (* entries across all lanes *)
   mutable next_seq : int; (* global event sequence number *)
+  mutable seq_stride : int; (* > 1 iff this kernel is one shard of many *)
   mutable fns : (int -> unit) array;
   mutable args : int array;
   mutable thunks : (unit -> unit) array;
@@ -105,6 +106,7 @@ let create ?(kernel = Heap_kernel) () =
       n_lanes = 0;
       lane_total = 0;
       next_seq = 0;
+      seq_stride = 1;
       fns = [||];
       args = [||];
       thunks = [||];
@@ -130,8 +132,24 @@ let[@inline] now t = t.fl.(0)
 
 let[@inline] reserve_seq t =
   let s = t.next_seq in
-  t.next_seq <- s + 1;
+  t.next_seq <- s + t.seq_stride;
   s
+
+(* Shard facade: kernel [index] of [count] draws sequence numbers
+   [index, index + count, index + 2*count, ...]. The map is affine and
+   strictly increasing, so within one shard events keep exactly the
+   order a stride-1 kernel would give them, while across shards every
+   (time, seq) pair stays globally unique — the property the sharded
+   runner's event-time barrier relies on for byte-identical merges. *)
+let set_seq_partition t ~index ~count =
+  if count <= 0 || index < 0 || index >= count then
+    invalid_arg
+      (Printf.sprintf "Sim.set_seq_partition: index %d outside [0, %d)" index
+         count);
+  if t.next_seq <> 0 then
+    invalid_arg "Sim.set_seq_partition: events were already scheduled";
+  t.next_seq <- index;
+  t.seq_stride <- count
 
 let grow_pool t =
   let cap = Array.length t.args in

@@ -71,6 +71,18 @@ val reserve_seq : t -> int
     same counter, so interleaving reservations with scheduling calls
     totally orders all events. *)
 
+val set_seq_partition : t -> index:int -> count:int -> unit
+(** Declare this kernel to be shard [index] of [count] cooperating
+    kernels: sequence numbers are drawn from the residue class
+    [index mod count] ([index], [index + count], ...). The map is
+    strictly increasing, so within the shard events fire exactly as a
+    stride-1 kernel would fire them, while (time, seq) pairs stay
+    globally unique across shards — the basis of the sharded runner's
+    deterministic event-time barrier. Must be called before any event
+    is scheduled; raises [Invalid_argument] otherwise, or when [index]
+    lies outside [0, count). [count = 1] is the default (no-op)
+    partition. *)
+
 val lane_push :
   t -> lane -> time:float -> seq:int -> fn:(int -> unit) -> arg:int -> unit
 (** Schedule [fn arg] at [time] (clamped to [now]) on the lane, with a

@@ -48,6 +48,11 @@ type t = {
   mutable hop_exited : int array;
   mutable hop_dropped : int array;
   mutable hop_checked : int;
+  (* Fluid-conservation probes: one closure per fluid-carrying link
+     reading that link's aggregate byte totals. Closure-based so the
+     auditor stays independent of the fluid tier's types. Newest
+     first; checked in registration order. *)
+  mutable fluids : (int * (unit -> float * float * float * float)) list;
 }
 
 let create ?(trace = 64) ?(obs = Trace.disabled) () =
@@ -68,6 +73,7 @@ let create ?(trace = 64) ?(obs = Trace.disabled) () =
     hop_exited = [||];
     hop_dropped = [||];
     hop_checked = 0;
+    fluids = [];
   }
 
 let register_flow t ~label =
@@ -268,6 +274,35 @@ let hop_counters t ~link =
 
 let hop_events_checked t = t.hop_checked
 
+(* ---------- fluid byte conservation ---------- *)
+
+let register_fluid t ~link ~totals = t.fluids <- (link, totals) :: t.fluids
+
+let check_fluid t =
+  List.iter
+    (fun (link, totals) ->
+      let bytes_in, bytes_out, shed, backlog = totals () in
+      let fin v = Float.is_finite v in
+      if not (fin bytes_in && fin bytes_out && fin shed && fin backlog) then
+        fail t
+          "link %d: fluid byte accounting is not finite (in %g out %g shed %g \
+           backlog %g)"
+          link bytes_in bytes_out shed backlog;
+      if bytes_in < 0.0 || bytes_out < 0.0 || shed < 0.0 || backlog < 0.0 then
+        fail t
+          "link %d: negative fluid byte accounting (in %g out %g shed %g \
+           backlog %g)"
+          link bytes_in bytes_out shed backlog;
+      let residual = bytes_in -. (bytes_out +. shed +. backlog) in
+      if Float.abs residual > 1e-6 *. Float.max 1.0 bytes_in then
+        fail t
+          "link %d: fluid conservation violated: %.3f bytes in but %.3f out + \
+           %.3f shed + %.3f backlog (residual %g)"
+          link bytes_in bytes_out shed backlog residual)
+    (List.rev t.fluids)
+
+let fluid_links_checked t = List.length t.fluids
+
 let observe_backlog t ~backlog ~now =
   if not (Float.is_finite backlog) then
     fail t "backlog is not finite (%g) at %.6f" backlog now;
@@ -300,4 +335,5 @@ let assert_quiesced t =
         link
         t.hop_entered.(link)
         t.hop_exited.(link)
-  done
+  done;
+  check_fluid t

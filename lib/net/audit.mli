@@ -71,6 +71,26 @@ val hop_counters : t -> link:int -> int * int * int
 val hop_events_checked : t -> int
 (** Total per-hop events fed through the auditor (diagnostic). *)
 
+(** {2 Fluid byte conservation (aggregation tier)}
+
+    Links carrying fluid background classes (see [Aggregate]) register
+    a probe reading the aggregate's lifetime byte totals
+    [(bytes_in, bytes_out, bytes_shed, backlog)]. The probes are
+    closure-based so the auditor stays independent of the fluid tier's
+    types. {!check_fluid} — also run by {!assert_quiesced} — raises
+    {!Violation} if any registered link's accounting has a negative or
+    non-finite term, or violates
+    [bytes_in = bytes_out + bytes_shed + backlog] beyond a relative
+    [1e-6] tolerance. *)
+
+val register_fluid :
+  t -> link:int -> totals:(unit -> float * float * float * float) -> unit
+
+val check_fluid : t -> unit
+
+val fluid_links_checked : t -> int
+(** Number of fluid-carrying links registered for conservation checks. *)
+
 val outstanding : t -> int
 (** Packets currently in flight across all registered flows. *)
 

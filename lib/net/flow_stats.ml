@@ -85,6 +85,15 @@ let window_indices t ~t0 ~t1 =
   let i1 = lower_bound t t1 in
   (i0, i1)
 
+let bytes_acked_window t ~t0 ~t1 =
+  if t1 <= t0 then invalid_arg "Flow_stats.bytes_acked_window: empty window";
+  let i0, i1 = window_indices t ~t0 ~t1 in
+  let bytes = ref 0.0 in
+  for i = i0 to i1 - 1 do
+    bytes := !bytes +. Fvec.get t.ack_bytes i
+  done;
+  !bytes
+
 let throughput_mbps t ~t0 ~t1 =
   if t1 <= t0 then invalid_arg "Flow_stats.throughput_mbps: empty window";
   let i0, i1 = window_indices t ~t0 ~t1 in

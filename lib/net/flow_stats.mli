@@ -43,6 +43,10 @@ val bytes_acked : t -> float
 val loss_fraction : t -> float
 (** Lost / sent over the whole run (0 when nothing sent). *)
 
+val bytes_acked_window : t -> t0:float -> t1:float -> float
+(** Bytes whose ACK arrived in [\[t0,t1)]. Raises [Invalid_argument] on
+    an empty window. *)
+
 val throughput_mbps : t -> t0:float -> t1:float -> float
 (** Goodput over the window: bytes whose ACK arrived in [\[t0,t1)],
     divided by the window length. *)

@@ -121,6 +121,12 @@ type outcome =
 
 type t = {
   mutable capacity : float;  (* bytes per second *)
+  (* Capacity left for the packet tier: [capacity] minus the fluid
+     aggregate's served rate. Always equal to [capacity] on links
+     without a fluid attachment, so the no-fluid arithmetic is
+     bit-identical to the historical single-tier link. *)
+  mutable cap_eff : float;
+  mutable agg : Aggregate.t option;  (* fluid background tier *)
   mutable prop_one_way : float;
   mutable buffer_bytes : float;
   mutable loss : loss_model;
@@ -162,6 +168,8 @@ let create ?(trace = Trace.disabled) cfg ~rng =
   in
   {
     capacity = Units.mbps_to_bytes_per_sec cfg.bandwidth_mbps;
+    cap_eff = Units.mbps_to_bytes_per_sec cfg.bandwidth_mbps;
+    agg = None;
     prop_one_way = Units.ms cfg.rtt_ms /. 2.0;
     buffer_bytes = float_of_int cfg.buffer_bytes;
     loss = (match cfg.loss with Some m -> m | None -> Iid cfg.loss_rate);
@@ -182,22 +190,48 @@ let create ?(trace = Trace.disabled) cfg ~rng =
     trace;
   }
 
+(* Advance the fluid aggregate to [now] and refresh the packet tier's
+   effective capacity. When the fluid claim changed, the unserved
+   packet backlog is re-served at the new rate — the same conversion
+   [Set_bandwidth] applies, so packet bytes are conserved across fluid
+   regime changes. No-op on links without a fluid attachment. *)
+let apply_fluid t ~now =
+  match t.agg with
+  | None -> ()
+  | Some a ->
+      Aggregate.advance a ~until:now ~capacity:t.capacity
+        ~buffer:t.buffer_bytes;
+      (* [served_rate <= 0.95 * capacity], so the packet tier always
+         keeps a positive service floor. *)
+      let ce = t.capacity -. Aggregate.served_rate a in
+      if ce <> t.cap_eff then begin
+        let unserved = Float.max 0.0 (t.fl.(0) -. now) *. t.cap_eff in
+        t.cap_eff <- ce;
+        t.fl.(0) <- now +. (unserved /. ce)
+      end
+
 (* Apply schedule entries whose time has passed. Rate changes convert
    the unserved backlog at the change instant (exact because no packet
    was admitted in between); outage starts park [free_at] at the window
    end — the server is down for the window, and a flush additionally
    discards the queue (packets that would have been flushed were
-   already reported Dropped at admission by the lookahead below). *)
+   already reported Dropped at admission by the lookahead below). The
+   fluid aggregate is advanced up to each impairment instant first, so
+   every fluid integration interval sees one consistent capacity. *)
 let sync t ~now =
   while
     t.sched_idx < Array.length t.sched_time && t.sched_time.(t.sched_idx) <= now
   do
     let tc = t.sched_time.(t.sched_idx) in
+    if t.agg <> None then apply_fluid t ~now:tc;
     (match t.sched_imp.(t.sched_idx) with
     | Set_bandwidth mbps ->
-        let unserved = Float.max 0.0 (t.fl.(0) -. tc) *. t.capacity in
+        let unserved = Float.max 0.0 (t.fl.(0) -. tc) *. t.cap_eff in
         t.capacity <- Units.mbps_to_bytes_per_sec mbps;
-        t.fl.(0) <- tc +. (unserved /. t.capacity);
+        (* The fluid share of the new capacity is re-deducted by the
+           [apply_fluid] at the end of this sync. *)
+        t.cap_eff <- t.capacity;
+        t.fl.(0) <- tc +. (unserved /. t.cap_eff);
         if Trace.enabled t.trace then
           Trace.emit t.trace ~time:tc ~kind:Trace.Impairment ~flow:(-1)
             ~seq:t.sched_idx ~a:mbps ~b:0.0 ~note:"set-bandwidth"
@@ -232,7 +266,37 @@ let sync t ~now =
       Trace.emit t.trace ~time:(t.out_end.(t.out_idx)) ~kind:Trace.Impairment
         ~flow:(-1) ~seq:t.out_idx ~a:0.0 ~b:0.0 ~note:"up";
     t.out_idx <- t.out_idx + 1
-  done
+  done;
+  if t.agg <> None then apply_fluid t ~now
+
+(* ---------- fluid background tier ---------- *)
+
+let attach_fluid t a =
+  if t.agg <> None then
+    invalid_arg "Link.attach_fluid: link already carries a fluid aggregate";
+  t.agg <- Some a
+
+let fluid t = t.agg
+let sync_fluid t ~now = sync t ~now
+
+(* Buffer headroom the packet tier may fill: the fluid backlog occupies
+   the shared buffer. *)
+let[@inline] packet_buffer t =
+  match t.agg with
+  | None -> t.buffer_bytes
+  | Some a -> t.buffer_bytes -. Aggregate.backlog a
+
+(* Congestion loss induced by the fluid tier: while the fluid backlog
+   is pinned at its buffer share and shedding, foreground packets
+   entering the same queue are lost with the fluid's shed fraction.
+   Never draws randomness on links without fluid (or outside shedding
+   episodes), so no-fluid runs consume the identical RNG stream. *)
+let[@inline] draw_fluid_loss t =
+  match t.agg with
+  | None -> false
+  | Some a ->
+      let p = Aggregate.loss_prob a in
+      p > 0.0 && Rng.bernoulli t.rng ~p
 
 let capacity_bytes_per_sec t = t.capacity
 let base_rtt t = 2.0 *. t.prop_one_way
@@ -246,7 +310,7 @@ let is_down t ~now =
 
 let backlog_bytes t ~now =
   sync t ~now;
-  Float.max 0.0 (t.fl.(0) -. now) *. t.capacity
+  Float.max 0.0 (t.fl.(0) -. now) *. t.cap_eff
 
 let queue_delay t ~now =
   sync t ~now;
@@ -318,15 +382,16 @@ let forward t ~now ~size =
     && now < t.out_end.(t.out_idx)
   then Fwd_dropped
   else if draw_loss t then Fwd_dropped
+  else if draw_fluid_loss t then Fwd_dropped
   else begin
     let sizef = float_of_int size in
     let free_at = t.fl.(0) in
     let wait = free_at -. now in
-    if ((if wait > 0.0 then wait else 0.0) *. t.capacity) +. sizef > t.buffer_bytes
+    if ((if wait > 0.0 then wait else 0.0) *. t.cap_eff) +. sizef > packet_buffer t
     then Fwd_dropped
     else begin
       let start = if now >= free_at then now else free_at in
-      let departure = lookahead t ~now (start +. (sizef /. t.capacity)) in
+      let departure = lookahead t ~now (start +. (sizef /. t.cap_eff)) in
       if Float.is_nan departure then Fwd_dropped
       else Fwd_arrival (departure +. t.prop_one_way)
     end
@@ -342,7 +407,7 @@ let forward t ~now ~size =
 let ack_transit t ~now ~at =
   sync t ~now;
   (if at >= t.fl.(0) then at else t.fl.(0))
-  +. (float_of_int Units.ack_bytes /. t.capacity)
+  +. (float_of_int Units.ack_bytes /. t.cap_eff)
   +. t.prop_one_way
 
 (* Allocation-free variant of [transmit] for the per-packet hot path:
@@ -366,18 +431,22 @@ let transmit_into t ~now ~size ~out =
     out.(0) <- loss_notify_time t ~now;
     false
   end
+  else if draw_fluid_loss t then begin
+    out.(0) <- loss_notify_time t ~now;
+    false
+  end
   else begin
     let sizef = float_of_int size in
     let free_at = t.fl.(0) in
     let wait = free_at -. now in
-    if ((if wait > 0.0 then wait else 0.0) *. t.capacity) +. sizef > t.buffer_bytes
+    if ((if wait > 0.0 then wait else 0.0) *. t.cap_eff) +. sizef > packet_buffer t
     then begin
       out.(0) <- loss_notify_time t ~now;
       false
     end
     else begin
       let start = if now >= free_at then now else free_at in
-      let departure = lookahead t ~now (start +. (sizef /. t.capacity)) in
+      let departure = lookahead t ~now (start +. (sizef /. t.cap_eff)) in
       if Float.is_nan departure then begin
         (* Flushed: the packet occupied the queue until the discard. *)
         out.(0) <- loss_notify_time t ~now;
@@ -399,7 +468,7 @@ let transmit_into t ~now ~size ~out =
         out.(1) <- ack_time -. now;
         out.(2) <-
           (if Rng.bernoulli t.rng ~p:t.dup_prob then
-             ack_time +. (sizef /. t.capacity)
+             ack_time +. (sizef /. t.cap_eff)
            else Float.nan);
         true
       end

@@ -164,3 +164,31 @@ val ack_transit : t -> now:float -> at:float -> float
     serialization and one propagation delay; ACKs are never dropped and
     never queue-build. [now] must be simulated-now — the impairment
     schedule is synced to it, not to [at]. *)
+
+(** {2 Fluid background tier}
+
+    A link may carry one {!Aggregate} of fluid background classes. The
+    aggregate is advanced lazily at every link sync (and up to each
+    impairment instant before it applies); packet-level flows then see
+    it as contention: their service rate is the raw capacity minus the
+    fluid's served rate (with the queued packet backlog re-served at
+    each rate change, exactly like [Set_bandwidth]), the fluid backlog
+    occupies the shared buffer and shrinks the tail-drop headroom, and
+    while the fluid is shedding, foreground packets are additionally
+    lost with the fluid's shed fraction. Links without an aggregate are
+    bit-identical to the historical single-tier link: same arithmetic,
+    same RNG draws. *)
+
+val attach_fluid : t -> Aggregate.t -> unit
+(** Attach the fluid background aggregate. Must happen before any
+    traffic crosses the link (the aggregate integrates from time 0);
+    raises [Invalid_argument] if one is already attached. *)
+
+val fluid : t -> Aggregate.t option
+(** The attached aggregate, if any. *)
+
+val sync_fluid : t -> now:float -> unit
+(** Advance the impairment schedule and the fluid aggregate to [now]
+    without offering a packet — used to bring the fluid byte accounting
+    up to the horizon before reading {!Aggregate.totals} at the end of
+    a run. *)

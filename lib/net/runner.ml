@@ -57,6 +57,7 @@ type flow = {
 type t = {
   sim : Sim.t;
   links : Link.t array;
+  fluid_present : bool; (* at least one link carries a fluid aggregate *)
   classic : bool; (* dumbbell: links.(0) is the legacy full-duplex link *)
   batch : bool; (* wheel kernel: per-link lanes + inline polls *)
   lanes : Sim.lane array; (* one per link; empty unless [batch] *)
@@ -100,9 +101,22 @@ let create_topo ?(seed = 42) ?(trace = Trace.disabled)
       a
     end
   in
+  (* Fluid background aggregates attach after all link RNG splits, so a
+     topology with fluid classes draws the same link/flow RNG streams
+     as the identical topology without them (the fluid integrator is
+     deterministic and owns no RNG). *)
+  let fluid_present = ref false in
+  for i = 0 to n - 1 do
+    match Topology.instantiate_fluid topo i with
+    | Some agg ->
+        Link.attach_fluid links.(i) agg;
+        fluid_present := true
+    | None -> ()
+  done;
   {
     sim;
     links;
+    fluid_present = !fluid_present;
     classic = Topology.is_classic topo;
     batch;
     lanes;
@@ -127,6 +141,14 @@ let attach_audit ?trace t =
       let id = Audit.register_flow a ~label:f.label in
       assert (id = f.id))
     (List.rev t.flows);
+  Array.iteri
+    (fun i l ->
+      match Link.fluid l with
+      | Some agg ->
+          Audit.register_fluid a ~link:i ~totals:(fun () ->
+              Aggregate.totals agg)
+      | None -> ())
+    t.links;
   t.audit <- Some a;
   a
 
@@ -141,6 +163,17 @@ let link t =
 
 let link_at t i = t.links.(i)
 let num_links t = Array.length t.links
+
+(* Bring every fluid aggregate up to the current instant so byte totals
+   and backlogs read consistently (links otherwise sync lazily, on the
+   next packet touching them). *)
+let sync_fluid t =
+  if t.fluid_present then begin
+    let now = Sim.now t.sim in
+    Array.iter
+      (fun l -> if Link.fluid l <> None then Link.sync_fluid l ~now)
+      t.links
+  end
 let rng t = t.root_rng
 let stats f = f.stats
 let label f = f.label
@@ -588,6 +621,24 @@ let snapshot_metrics t reg =
           (Metrics.gauge reg (Printf.sprintf "link.%d.backlog-bytes" i))
           (Link.backlog_bytes l ~now))
       t.links;
+  if t.fluid_present then begin
+    sync_fluid t;
+    Array.iteri
+      (fun i l ->
+        match Link.fluid l with
+        | None -> ()
+        | Some agg ->
+            let bytes_in, bytes_out, shed, bq = Aggregate.totals agg in
+            let p n = Printf.sprintf "link.%d.fluid-%s" i n in
+            Metrics.set (Metrics.gauge reg (p "backlog-bytes")) bq;
+            Metrics.set (Metrics.gauge reg (p "bytes-in")) bytes_in;
+            Metrics.set (Metrics.gauge reg (p "bytes-out")) bytes_out;
+            Metrics.set (Metrics.gauge reg (p "bytes-shed")) shed;
+            Metrics.set
+              (Metrics.gauge reg (p "flows"))
+              (float_of_int (Aggregate.flows agg)))
+      t.links
+  end;
   List.iter
     (fun f ->
       let s = f.stats in
@@ -618,4 +669,9 @@ let resume t f =
     schedule_poll t f ~time:(Float.max f.start (Sim.now t.sim))
   end
 
-let run t ~until = Sim.run ~until t.sim
+let run t ~until =
+  Sim.run ~until t.sim;
+  (* Integrate fluid tails to the stop time so end-of-run totals (and
+     the auditor's conservation check) cover the full horizon even when
+     no packet touched a link late in the run. No-op without fluid. *)
+  sync_fluid t

@@ -74,6 +74,14 @@ val link_at : t -> int -> Link.t
 
 val num_links : t -> int
 
+val sync_fluid : t -> unit
+(** Advance every link's fluid aggregate (see {!Topology.with_fluid})
+    to the current simulated instant, so fluid byte totals and backlogs
+    read consistently. Links integrate lazily (on the next packet
+    touching them); {!run} calls this at each horizon, so explicit
+    calls are only needed when sampling totals mid-run. No-op on
+    topologies without fluid classes. *)
+
 val rng : t -> Proteus_stats.Rng.t
 (** Derive workload-level random streams from this. *)
 
@@ -116,6 +124,8 @@ val attach_audit : ?trace:int -> t -> Audit.t
     topologies, checked for per-hop conservation at quiesce). Must be
     attached before any packet is in flight — the auditor treats
     deliveries of packets it never saw sent as conservation violations.
+    Links carrying fluid classes are registered for fluid byte
+    conservation ([Audit.check_fluid], also run at quiesce).
     Attaching again replaces the previous auditor. [trace] bounds the
     ring-buffer trace embedded in {!Audit.Violation} reports. The
     auditor shares the runner's observability bus, so violations also

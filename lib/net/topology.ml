@@ -1,9 +1,14 @@
 type route = { fwd : int array; rev : int array }
 
+(* Per-link fluid attachment: background classes plus the aggregate's
+   buffer-share override ([None] = Aggregate.create default). *)
+type fluid_spec = { f_share : float option; f_classes : Aggregate.cls list }
+
 type t = {
   links : Link.config array;
   classic : bool;
   chain_hops : int; (* > 0 iff built by [chain] *)
+  fluid : fluid_spec option array; (* indexed by link id *)
 }
 
 let num_links t = Array.length t.links
@@ -11,11 +16,20 @@ let link_config t i = t.links.(i)
 let is_classic t = t.classic
 let chain_hops t = t.chain_hops
 
+let no_fluid n : fluid_spec option array = Array.make n None
+
 let make = function
   | [] -> invalid_arg "Topology.make: a topology needs at least one link"
-  | links -> { links = Array.of_list links; classic = false; chain_hops = 0 }
+  | links ->
+      {
+        links = Array.of_list links;
+        classic = false;
+        chain_hops = 0;
+        fluid = no_fluid (List.length links);
+      }
 
-let dumbbell cfg = { links = [| cfg |]; classic = true; chain_hops = 0 }
+let dumbbell cfg =
+  { links = [| cfg |]; classic = true; chain_hops = 0; fluid = no_fluid 1 }
 
 let chain ?rev fwd =
   let n = List.length fwd in
@@ -26,7 +40,50 @@ let chain ?rev fwd =
       (Printf.sprintf
          "Topology.chain: %d reverse-direction links for %d forward hops"
          (List.length rev) n);
-  { links = Array.of_list (fwd @ rev); classic = false; chain_hops = n }
+  {
+    links = Array.of_list (fwd @ rev);
+    classic = false;
+    chain_hops = n;
+    fluid = no_fluid (2 * n);
+  }
+
+let with_fluid ?buffer_share t ~link classes =
+  if link < 0 || link >= num_links t then
+    invalid_arg
+      (Printf.sprintf "Topology.with_fluid: link id %d outside [0, %d)" link
+         (num_links t));
+  if classes = [] then
+    invalid_arg "Topology.with_fluid: at least one traffic class required";
+  (match t.fluid.(link) with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Topology.with_fluid: link %d already carries fluid classes" link)
+  | None -> ());
+  (* Validate eagerly (at specification time, not instantiation). *)
+  ignore (Aggregate.create ?buffer_share classes);
+  let fluid = Array.copy t.fluid in
+  fluid.(link) <- Some { f_share = buffer_share; f_classes = classes };
+  { t with fluid }
+
+let fluid_classes t i = t.fluid.(i)
+let has_fluid t i = t.fluid.(i) <> None
+
+let instantiate_fluid t i =
+  Option.map
+    (fun { f_share; f_classes } ->
+      Aggregate.create ?buffer_share:f_share f_classes)
+    (fluid_classes t i)
+
+let fluid_flows t =
+  Array.fold_left
+    (fun acc -> function
+      | None -> acc
+      | Some { f_classes; _ } ->
+          List.fold_left
+            (fun acc c -> acc + Aggregate.cls_flows c)
+            acc f_classes)
+    0 t.fluid
 
 let route t ~fwd ~rev =
   if fwd = [] then invalid_arg "Topology.route: forward path is empty";

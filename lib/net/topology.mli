@@ -44,6 +44,24 @@ val make : Link.config list -> t
     order); routes are built explicitly with {!route}. Raises
     [Invalid_argument] on an empty list. *)
 
+val with_fluid : ?buffer_share:float -> t -> link:int -> Aggregate.cls list -> t
+(** Functional update attaching fluid background classes to one link
+    (see {!Aggregate}): the {!Runner} instantiates a fresh aggregate on
+    that link at [create_topo] time. [buffer_share] overrides the
+    aggregate's fluid buffer bound. Raises [Invalid_argument] on a link
+    id outside the topology, an empty class list, a link that already
+    carries classes, or specs {!Aggregate.create} rejects. *)
+
+val has_fluid : t -> int -> bool
+
+val instantiate_fluid : t -> int -> Aggregate.t option
+(** Fresh mutable aggregate for link [i]'s class specs ([None] when the
+    link carries no fluid). Each call builds independent state, so
+    every {!Runner} instantiation owns its own integrator. *)
+
+val fluid_flows : t -> int
+(** Total background flow population across all links' classes. *)
+
 val route : t -> fwd:int list -> rev:int list -> route
 (** A route from explicit link-id paths. [fwd] must be non-empty; [rev]
     may be empty (ACKs then arrive the instant delivery completes).

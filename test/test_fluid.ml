@@ -1,0 +1,250 @@
+(* Fluid aggregation tier tests: exact integrator regimes, byte
+   conservation under random envelope schedules and random sync
+   patterns, and the packet/fluid coupling (auditor-clean integration,
+   monotone foreground throttling as background load rises). *)
+
+module Net = Proteus_net
+module Aggregate = Net.Aggregate
+module Link = Net.Link
+module Topology = Net.Topology
+module Units = Net.Units
+
+let mbps = Units.mbps_to_bytes_per_sec
+
+let check_conserved ?(what = "conservation") agg =
+  let bytes_in, bytes_out, shed, backlog = Aggregate.totals agg in
+  let residual = bytes_in -. (bytes_out +. shed +. backlog) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s residual %g (in %g)" what residual bytes_in)
+    true
+    (Float.abs residual <= 1e-6 *. Float.max 1.0 bytes_in);
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (what ^ ": " ^ name ^ " >= 0") true (v >= 0.0))
+    [ ("in", bytes_in); ("out", bytes_out); ("shed", shed); ("backlog", backlog) ]
+
+(* ---------- integrator unit tests ---------- *)
+
+let test_pass_through () =
+  let agg =
+    Aggregate.create [ Aggregate.cls ~label:"web" [ (0.0, 10.0) ] ]
+  in
+  Aggregate.advance agg ~until:5.0 ~capacity:(mbps 100.0) ~buffer:1_000_000.0;
+  let bytes_in, bytes_out, shed, backlog = Aggregate.totals agg in
+  Alcotest.(check (float 1e-6)) "in = rate * t" (mbps 10.0 *. 5.0) bytes_in;
+  Alcotest.(check (float 1e-6)) "all served" bytes_in bytes_out;
+  Alcotest.(check (float 0.0)) "no shed" 0.0 shed;
+  Alcotest.(check (float 0.0)) "no backlog" 0.0 backlog;
+  Alcotest.(check (float 1e-6)) "served rate" (mbps 10.0)
+    (Aggregate.served_rate agg);
+  Alcotest.(check (float 0.0)) "no loss" 0.0 (Aggregate.loss_prob agg)
+
+let test_overload_sheds () =
+  let agg =
+    Aggregate.create [ Aggregate.cls ~label:"swarm" [ (0.0, 200.0) ] ]
+  in
+  let capacity = mbps 100.0 and buffer = 1_000_000.0 in
+  Aggregate.advance agg ~until:1.0 ~capacity ~buffer;
+  let cap_f = 0.95 *. capacity in
+  let lam = mbps 200.0 in
+  let bytes_in, bytes_out, shed, backlog = Aggregate.totals agg in
+  Alcotest.(check (float 1e-6)) "in = offered" lam bytes_in;
+  Alcotest.(check (float 1e-6)) "out = fluid capacity share" cap_f bytes_out;
+  Alcotest.(check (float 1e-6)) "backlog pinned at buffer share"
+    (0.5 *. buffer) backlog;
+  Alcotest.(check (float 1e-6)) "shed = remainder"
+    (lam -. cap_f -. (0.5 *. buffer))
+    shed;
+  Alcotest.(check (float 1e-9)) "loss prob = shed fraction"
+    ((lam -. cap_f) /. lam)
+    (Aggregate.loss_prob agg);
+  check_conserved agg
+
+let test_responsive_backoff () =
+  (* A fully responsive class scales to the fluid capacity share:
+     nothing queues, nothing sheds, and the backed-off bytes never
+     appear in the ledger. *)
+  let agg =
+    Aggregate.create
+      [ Aggregate.cls ~label:"web" ~responsiveness:1.0 [ (0.0, 200.0) ] ]
+  in
+  let capacity = mbps 100.0 in
+  Aggregate.advance agg ~until:2.0 ~capacity ~buffer:1_000_000.0;
+  let cap_f = 0.95 *. capacity in
+  let bytes_in, bytes_out, shed, backlog = Aggregate.totals agg in
+  Alcotest.(check (float 1e-6)) "in = capped offered" (cap_f *. 2.0) bytes_in;
+  Alcotest.(check (float 1e-6)) "all served" bytes_in bytes_out;
+  Alcotest.(check (float 0.0)) "no shed" 0.0 shed;
+  Alcotest.(check (float 0.0)) "no backlog" 0.0 backlog;
+  Alcotest.(check (float 0.0)) "no loss" 0.0 (Aggregate.loss_prob agg)
+
+let test_drain_after_burst () =
+  (* Burst past capacity, then silence: the backlog drains at the full
+     fluid rate and lands exactly on zero. *)
+  let agg =
+    Aggregate.create
+      [ Aggregate.cls ~label:"burst" [ (0.0, 120.0); (1.0, 0.0) ] ]
+  in
+  let capacity = mbps 100.0 and buffer = 10_000_000.0 in
+  Aggregate.advance agg ~until:10.0 ~capacity ~buffer;
+  let _, _, shed, backlog = Aggregate.totals agg in
+  Alcotest.(check (float 0.0)) "drained to exactly zero" 0.0 backlog;
+  Alcotest.(check (float 0.0)) "large buffer: nothing shed" 0.0 shed;
+  check_conserved agg
+
+let test_class_attribution () =
+  (* Shed bytes split across classes in proportion to their effective
+     rates, and per-class bytes_in sums to the aggregate ledger. *)
+  let agg =
+    Aggregate.create
+      [
+        Aggregate.cls ~label:"a" [ (0.0, 150.0) ];
+        Aggregate.cls ~label:"b" [ (0.0, 50.0) ];
+      ]
+  in
+  Aggregate.advance agg ~until:2.0 ~capacity:(mbps 100.0) ~buffer:1_000_000.0;
+  let bytes_in, _, shed, _ = Aggregate.totals agg in
+  let _, _, in_a, shed_a = Aggregate.class_stats agg 0 in
+  let _, _, in_b, shed_b = Aggregate.class_stats agg 1 in
+  Alcotest.(check (float 1e-3)) "per-class in sums" bytes_in (in_a +. in_b);
+  Alcotest.(check (float 1e-3)) "per-class shed sums" shed (shed_a +. shed_b);
+  Alcotest.(check (float 1e-6)) "attribution is rate-proportional"
+    (3.0 *. shed_b) shed_a
+
+(* ---------- conservation property ---------- *)
+
+let qcheck_conservation =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let envelope =
+        list_size (int_range 1 5)
+          (pair (float_bound_exclusive 10.0) (float_bound_exclusive 200.0))
+      in
+      let cls =
+        map2
+          (fun env r -> (env, float_of_int r /. 4.0))
+          envelope (int_range 0 4)
+      in
+      triple
+        (list_size (int_range 1 3) cls)
+        (list_size (int_range 1 20) (float_bound_exclusive 10.0))
+        (pair (int_range 1 200) (int_range 1 100)))
+  in
+  let arb = make gen in
+  Test.make ~count:200
+    ~name:"fluid conservation under random envelopes and sync patterns" arb
+    (fun (classes, sync_times, (cap_mbps, buf_kb)) ->
+      let specs =
+        List.mapi
+          (fun i (env, r) ->
+            Aggregate.cls
+              ~label:(Printf.sprintf "c%d" i)
+              ~responsiveness:r env)
+          classes
+      in
+      let agg = Aggregate.create specs in
+      let capacity = mbps (float_of_int cap_mbps) in
+      let buffer = float_of_int buf_kb *. 1000.0 in
+      (* Random (unsorted, duplicated) sync instants exercise the
+         lazy-advance path: advancing to a past instant is a no-op. *)
+      List.iter
+        (fun t -> Aggregate.advance agg ~until:t ~capacity ~buffer)
+        sync_times;
+      Aggregate.advance agg ~until:20.0 ~capacity ~buffer;
+      let bytes_in, bytes_out, shed, backlog = Aggregate.totals agg in
+      let residual = bytes_in -. (bytes_out +. shed +. backlog) in
+      Float.abs residual <= 1e-6 *. Float.max 1.0 bytes_in
+      && bytes_in >= 0.0 && bytes_out >= 0.0 && shed >= 0.0
+      && backlog >= 0.0
+      && backlog <= (0.5 *. buffer) +. 1e-6)
+
+(* ---------- packet/fluid coupling ---------- *)
+
+let fluid_dumbbell ~web_mbps =
+  Topology.with_fluid
+    (Topology.dumbbell
+       (Link.config ~bandwidth_mbps:50.0 ~rtt_ms:30.0 ~buffer_bytes:375_000 ()))
+    ~link:0
+    [
+      Aggregate.cls ~label:"web" ~responsiveness:0.3 [ (0.0, web_mbps) ];
+    ]
+
+let run_with_fluid ~web_mbps =
+  let r =
+    Net.Runner.create_topo ~seed:7 (fluid_dumbbell ~web_mbps)
+  in
+  let audit = Net.Runner.attach_audit r in
+  let f =
+    Net.Runner.add_flow r ~stop:9.0 ~label:"fg"
+      ~factory:(Proteus_cc.Cubic.factory ())
+  in
+  Net.Runner.run r ~until:10.0;
+  Net.Audit.assert_quiesced audit;
+  Alcotest.(check int) "one fluid link audited" 1
+    (Net.Audit.fluid_links_checked audit);
+  Net.Flow_stats.throughput_mbps (Net.Runner.stats f) ~t0:3.0 ~t1:9.0
+
+let test_integration_audited () =
+  let tput = run_with_fluid ~web_mbps:20.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "foreground makes progress (%.2f Mb/s)" tput)
+    true (tput > 1.0);
+  (* The runner syncs fluids to the horizon, so the ledger covers the
+     full run. *)
+  let r = Net.Runner.create_topo ~seed:7 (fluid_dumbbell ~web_mbps:20.0) in
+  Net.Runner.run r ~until:10.0;
+  match Link.fluid (Net.Runner.link_at r 0) with
+  | None -> Alcotest.fail "fluid aggregate not instantiated"
+  | Some agg ->
+      let bytes_in, _, _, _ = Aggregate.totals agg in
+      Alcotest.(check (float 1.0)) "ledger covers the horizon"
+        (mbps 20.0 *. 10.0) bytes_in;
+      check_conserved agg
+
+let test_monotone_throttling () =
+  (* Foreground goodput must fall monotonically as the background
+     offered load rises (well-separated load points). *)
+  let t_low = run_with_fluid ~web_mbps:5.0 in
+  let t_mid = run_with_fluid ~web_mbps:30.0 in
+  let t_high = run_with_fluid ~web_mbps:60.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tput falls with load: %.2f > %.2f > %.2f" t_low t_mid
+       t_high)
+    true
+    (t_low > t_mid && t_mid > t_high)
+
+let test_topology_validation () =
+  let cfg = Link.config ~bandwidth_mbps:10.0 ~rtt_ms:20.0 ~buffer_bytes:50_000 () in
+  let t = Topology.dumbbell cfg in
+  Alcotest.check_raises "empty class list rejected"
+    (Invalid_argument "Topology.with_fluid: at least one traffic class required")
+    (fun () -> ignore (Topology.with_fluid t ~link:0 []));
+  let t1 =
+    Topology.with_fluid t ~link:0 [ Aggregate.cls ~label:"w" [ (0.0, 1.0) ] ]
+  in
+  Alcotest.check_raises "double attach rejected"
+    (Invalid_argument "Topology.with_fluid: link 0 already carries fluid classes")
+    (fun () ->
+      ignore
+        (Topology.with_fluid t1 ~link:0 [ Aggregate.cls ~label:"x" [ (0.0, 1.0) ] ]));
+  Alcotest.(check bool) "original topology untouched" false (Topology.has_fluid t 0);
+  Alcotest.(check int) "flow population counted" 1 (Topology.fluid_flows t1)
+
+let suite =
+  [
+    Alcotest.test_case "pass-through regime" `Quick test_pass_through;
+    Alcotest.test_case "overload pins backlog and sheds" `Quick
+      test_overload_sheds;
+    Alcotest.test_case "responsive backoff" `Quick test_responsive_backoff;
+    Alcotest.test_case "burst drains to exactly zero" `Quick
+      test_drain_after_burst;
+    Alcotest.test_case "per-class attribution" `Quick test_class_attribution;
+    QCheck_alcotest.to_alcotest qcheck_conservation;
+    Alcotest.test_case "dumbbell integration, auditor clean" `Quick
+      test_integration_audited;
+    Alcotest.test_case "foreground throttles monotonically" `Quick
+      test_monotone_throttling;
+    Alcotest.test_case "topology fluid validation" `Quick
+      test_topology_validation;
+  ]

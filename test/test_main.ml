@@ -23,4 +23,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("video", Test_video.suite);
       ("web", Test_web.suite);
+      ("fluid", Test_fluid.suite);
+      ("shard", Test_shard.suite);
     ]
