@@ -71,6 +71,101 @@ let emit_manifest ?seed ?(params = []) ?metrics ?registry id =
     ?metrics ?registry ();
   Printf.printf "(wrote %s)\n" path
 
+(* ---------- resilient supervision ---------- *)
+
+module Harness = Proteus_harness
+
+(* `--resume` / `--retries` / `--wall-budget` / `--stall-budget` /
+   `--event-budget` / `--inject KIND:RUN_ID`: the sweep experiments
+   (faults, topology, scale) run every simulation under the
+   lib/harness supervisor. With no knobs set the supervisor is inert —
+   byte-identical outputs — but a crashing, stalling or over-budget run
+   degrades its own row instead of killing the whole sweep. *)
+
+let resume = ref false
+let retries = ref 0
+let wall_budget : float option ref = ref None
+let stall_budget : float option ref = ref None
+let event_budget : int option ref = ref None
+let injections : (string * Harness.Sweep.inject) list ref = ref []
+
+let supervision_budget () =
+  {
+    Harness.Supervisor.max_events = !event_budget;
+    max_sim_time = None;
+    wall_s = !wall_budget;
+    stall_s = !stall_budget;
+  }
+
+let sweep_config ~journal ~params =
+  {
+    Harness.Sweep.default with
+    budget = supervision_budget ();
+    retries = !retries;
+    journal = Some journal;
+    resume = !resume;
+    params = Harness.Journal.params_hash params;
+    injections = !injections;
+  }
+
+(* Arm the enclosing supervised run's budgets on a runner's sim. A
+   no-op outside a supervised task, so experiments arm unconditionally. *)
+let arm = Harness.Supervisor.arm_runner
+
+(* Experiments report their failed runs here; main.exe turns a
+   non-empty ledger into a one-line stderr summary and the degraded
+   exit code (2). *)
+let degraded : (string * Harness.Sweep.summary) list ref = ref []
+
+let note_failures id (s : Harness.Sweep.summary) =
+  if s.failed > 0 then degraded := (id, s) :: !degraded
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* The explicit failed-runs section every sweep's BENCH json carries:
+   an empty array on a clean sweep (so clean outputs are stable), one
+   entry per degraded run otherwise. *)
+let emit_failed_runs oc (failures : Harness.Sweep.failure list) =
+  match failures with
+  | [] -> output_string oc "  \"failed_runs\": [],\n"
+  | fs ->
+      output_string oc "  \"failed_runs\": [\n";
+      List.iteri
+        (fun i (f : Harness.Sweep.failure) ->
+          Printf.fprintf oc
+            "    {\"run\": \"%s\", \"outcome\": \"%s\", \"detail\": \"%s\", \
+             \"attempts\": %d}%s\n"
+            (json_escape f.f_run) (json_escape f.f_outcome)
+            (json_escape f.f_detail) f.f_attempts
+            (if i = List.length fs - 1 then "" else ","))
+        fs;
+      output_string oc "  ],\n"
+
+(* Failures list + summary from a sweep's rows; every experiment
+   reports through this so the ledger and manifests stay consistent. *)
+let sweep_failures rows =
+  List.filter_map (fun (r : _ Harness.Sweep.row) -> r.r_failure) rows
+
+let outcome_params (s : Harness.Sweep.summary) =
+  [
+    ("runs_completed", string_of_int s.completed);
+    ("runs_failed", string_of_int s.failed);
+    ("runs_quarantined", string_of_int s.quarantined);
+    ("runs_resumed", string_of_int s.resumed);
+  ]
+
 (* ---------- multicore fan-out ---------- *)
 
 (* Worker pool shared by every experiment; sized by `--jobs N`
@@ -93,6 +188,14 @@ let shutdown_pool () =
 
 let par_map f xs =
   match !pool with Some p -> Pool.map p f xs | None -> List.map f xs
+
+(* Supervised fan-out: Sweep.map over the shared pool. Each task runs
+   under the supervisor (crash isolation, budgets, retries) and
+   completions are journaled for --resume. *)
+let sup_map cfg ~run_id ~seed_of ~encode ~decode f keys =
+  Harness.Sweep.map cfg
+    ~pool_map:(fun g xs -> par_map g xs)
+    ~run_id ~seed_of ~encode ~decode f keys
 
 (* ---------- protocol registry ---------- *)
 

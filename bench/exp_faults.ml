@@ -130,6 +130,7 @@ let run_one ~seed (p : Exp_common.proto) (sc : scenario) =
   let fs = fault_start () in
   let stop = duration -. drain_margin in
   let r = Net.Runner.create ~seed ~kernel:!Exp_common.kernel sc.cfg in
+  Exp_common.arm r;
   let audit = Net.Runner.attach_audit r in
   let f1 = Net.Runner.add_flow r ~stop ~label:"a" ~factory:(p.make ()) in
   let f2 = Net.Runner.add_flow r ~stop ~label:"b" ~factory:(p.make ()) in
@@ -175,6 +176,31 @@ let run_one ~seed (p : Exp_common.proto) (sc : scenario) =
     audited_events = Net.Audit.events_checked audit;
   }
 
+(* ---------- journal codec ---------- *)
+
+(* %h floats round-trip byte-exactly through the journal, which is what
+   lets a --resume sweep reproduce BENCH_faults.json byte-for-byte. *)
+let encode_result r =
+  Printf.sprintf "%h %h %s %h %h %d" r.prefault_mbps r.postfault_mbps
+    (match r.recovery_s with
+    | Some v -> Printf.sprintf "%h" v
+    | None -> "-")
+    r.fairness_jain r.loss_frac r.audited_events
+
+let decode_result s =
+  match String.split_on_char ' ' s with
+  | [ pre; post; recov; fair; loss; audited ] ->
+      {
+        prefault_mbps = float_of_string pre;
+        postfault_mbps = float_of_string post;
+        recovery_s =
+          (if recov = "-" then None else Some (float_of_string recov));
+        fairness_jain = float_of_string fair;
+        loss_frac = float_of_string loss;
+        audited_events = int_of_string audited;
+      }
+  | _ -> failwith "faults: corrupt journal payload"
+
 (* ---------- sweep ---------- *)
 
 type row = {
@@ -190,6 +216,10 @@ type row = {
   trials : int;
 }
 
+(* Each (scenario x protocol x trial) task is one supervised run: the
+   run id names it for the journal and --inject, and a crashed /
+   stalled / over-budget trial drops out of its cell's aggregation
+   instead of killing the sweep. *)
 let sweep () =
   let root = Rng.create ~seed:20_260_806 in
   let trials = Exp_common.trials () in
@@ -201,80 +231,105 @@ let sweep () =
            List.concat
              (List.mapi
                 (fun pi p ->
-                  List.init trials (fun tr -> (si, sc, pi, p, tr)))
+                  List.init trials (fun tr ->
+                      let key = (((si * 64) + pi) * 64) + tr in
+                      let seed =
+                        1 + Rng.int (Rng.split_at root ~key) 1_000_000
+                      in
+                      (si, sc, pi, p, tr, seed)))
                 protos))
          scs)
   in
-  let results =
-    Exp_common.par_map
-      (fun (si, sc, pi, p, tr) ->
-        let key = (((si * 64) + pi) * 64) + tr in
-        let seed = 1 + Rng.int (Rng.split_at root ~key) 1_000_000 in
-        (si, pi, run_one ~seed p sc))
+  let cfg =
+    Exp_common.sweep_config ~journal:"JOURNAL_faults.jsonl"
+      ~params:
+        [
+          "faults";
+          Exp_common.scale_name ();
+          Exp_common.kernel_name ();
+          string_of_int trials;
+          Printf.sprintf "%g" (duration ());
+        ]
+  in
+  let srows =
+    Exp_common.sup_map cfg
+      ~run_id:(fun (_, sc, _, (p : Exp_common.proto), tr, _) ->
+        Printf.sprintf "%s/%s/t%d" sc.sid p.name tr)
+      ~seed_of:(fun (_, _, _, _, _, seed) -> seed)
+      ~encode:encode_result ~decode:decode_result
+      (fun (_, sc, _, p, _, seed) -> run_one ~seed p sc)
       tasks
   in
-  List.concat
-    (List.mapi
-       (fun si sc ->
-         List.mapi
-           (fun pi (p : Exp_common.proto) ->
-             let mine =
-               List.filter_map
-                 (fun (si', pi', r) ->
-                   if si' = si && pi' = pi then Some r else None)
-                 results
-             in
-             let arr f = Array.of_list (List.map f mine) in
-             let avg f = D.mean (arr f) in
-             let recoveries =
-               List.filter_map (fun r -> r.recovery_s) mine
-             in
-             let pre_m, pre_ci =
-               Exp_common.mean_ci95 (arr (fun r -> r.prefault_mbps))
-             in
-             let post_m, post_ci =
-               Exp_common.mean_ci95 (arr (fun r -> r.postfault_mbps))
-             in
-             let fair_m, fair_ci =
-               Exp_common.mean_ci95 (arr (fun r -> r.fairness_jain))
-             in
-             let recov_m, recov_ci =
-               Exp_common.mean_ci95 (Array.of_list recoveries)
-             in
-             {
-               scenario = sc.sid;
-               cc = p.name;
-               mean =
-                 {
-                   prefault_mbps = pre_m;
-                   postfault_mbps = post_m;
-                   recovery_s =
-                     (if recoveries = [] then None else Some recov_m);
-                   fairness_jain = fair_m;
-                   loss_frac = avg (fun r -> r.loss_frac);
-                   audited_events =
-                     List.fold_left
-                       (fun acc r -> acc + r.audited_events)
-                       0 mine;
-                 };
-               pre_ci;
-               post_ci;
-               recov_ci;
-               fair_ci;
-               recovered = List.length recoveries;
-               trials = List.length mine;
-             })
-           protos)
-       scs)
+  let results =
+    List.map2
+      (fun (si, _, pi, _, _, _) (r : run_result Exp_common.Harness.Sweep.row) ->
+        (si, pi, r.Exp_common.Harness.Sweep.r_value))
+      tasks srows
+  in
+  let agg =
+    List.concat
+      (List.mapi
+         (fun si sc ->
+           List.mapi
+             (fun pi (p : Exp_common.proto) ->
+               let mine =
+                 List.filter_map
+                   (fun (si', pi', r) ->
+                     if si' = si && pi' = pi then r else None)
+                   results
+               in
+               let arr f = Array.of_list (List.map f mine) in
+               let recoveries = List.filter_map (fun r -> r.recovery_s) mine in
+               let pre_m, pre_ci =
+                 Exp_common.mean_ci95 (arr (fun r -> r.prefault_mbps))
+               in
+               let post_m, post_ci =
+                 Exp_common.mean_ci95 (arr (fun r -> r.postfault_mbps))
+               in
+               let fair_m, fair_ci =
+                 Exp_common.mean_ci95 (arr (fun r -> r.fairness_jain))
+               in
+               let recov_m, recov_ci =
+                 Exp_common.mean_ci95 (Array.of_list recoveries)
+               in
+               let loss_arr = arr (fun r -> r.loss_frac) in
+               {
+                 scenario = sc.sid;
+                 cc = p.name;
+                 mean =
+                   {
+                     prefault_mbps = pre_m;
+                     postfault_mbps = post_m;
+                     recovery_s =
+                       (if recoveries = [] then None else Some recov_m);
+                     fairness_jain = fair_m;
+                     loss_frac =
+                       (if mine = [] then 0.0 else D.mean loss_arr);
+                     audited_events =
+                       List.fold_left
+                         (fun acc r -> acc + r.audited_events)
+                         0 mine;
+                   };
+                 pre_ci;
+                 post_ci;
+                 recov_ci;
+                 fair_ci;
+                 recovered = List.length recoveries;
+                 trials = List.length mine;
+               })
+             protos)
+         scs)
+  in
+  (agg, srows)
 
 (* ---------- output ---------- *)
 
 let json_num v =
   if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
 
-let emit_json rows =
+let emit_json rows failures =
   let oc = open_out "BENCH_faults.json" in
-  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-faults/1\",\n";
+  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-faults/2\",\n";
   Printf.fprintf oc "  \"code_version\": \"%s\",\n"
     (Proteus_obs.Manifest.code_version ());
   Printf.fprintf oc "  \"kernel\": \"%s\",\n" (Exp_common.kernel_name ());
@@ -283,6 +338,7 @@ let emit_json rows =
      \"buffer_bytes\": 150000, \"duration_s\": %g, \"fault_start_s\": %g, \
      \"recovery_threshold\": 0.8, \"series_bin_s\": %g},\n"
     base_bw (duration ()) (fault_start ()) series_bin;
+  Exp_common.emit_failed_runs oc failures;
   output_string oc "  \"results\": [\n";
   List.iteri
     (fun i r ->
@@ -317,7 +373,12 @@ let run () =
   Exp_common.run_experiment ~seed:20_260_806 ~id:"faults"
     ~title:"Fault injection: outages, bandwidth steps, bursty loss (auditor on)"
   @@ fun () ->
-  let rows = sweep () in
+  let rows, srows = sweep () in
+  let failures = Exp_common.sweep_failures srows in
+  let summary =
+    Exp_common.Harness.Sweep.summarize ~retries:!Exp_common.retries srows
+  in
+  Exp_common.note_failures "faults" summary;
   let current = ref "" in
   List.iter
     (fun r ->
@@ -334,8 +395,11 @@ let run () =
         | None -> "never")
         r.mean.fairness_jain r.mean.loss_frac)
     rows;
-  emit_json rows;
+  emit_json rows failures;
   Printf.printf "\n(wrote BENCH_faults.json)\n";
+  if summary.failed > 0 then
+    Printf.printf "(%d of %d runs failed; see failed_runs)\n" summary.failed
+      (summary.completed + summary.failed);
   [
     ("bandwidth_mbps", Printf.sprintf "%g" base_bw);
     ("rtt_ms", "30");
@@ -346,6 +410,7 @@ let run () =
     ("protocols", string_of_int (List.length protos));
     ("trials", string_of_int (Exp_common.trials ()));
   ]
+  @ Exp_common.outcome_params summary
 
 (* ---------- smoke (wired into `dune runtest` via @faults-smoke) ---------- *)
 

@@ -135,11 +135,11 @@ let digest ~edges:e ~dur sh =
 let json_num v =
   if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
 
-let emit_json ~edges:e ~dur ~shards ~fluid_flows ~foreground ~wall ~headline
-    ~fluid_sums ~mean_fg_tput =
-  let bytes_in, bytes_out, shed, backlog = fluid_sums in
+(* [body = None] is the degraded shape: config and failed_runs only, a
+   valid partial output a dashboard can still ingest. *)
+let emit_json ~edges:e ~dur ~shards ~fluid_flows ~foreground ~failures body =
   let oc = open_out "BENCH_scale.json" in
-  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-scale/1\",\n";
+  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-scale/2\",\n";
   Printf.fprintf oc "  \"code_version\": \"%s\",\n"
     (Proteus_obs.Manifest.code_version ());
   Printf.fprintf oc "  \"kernel\": \"%s\",\n" (Exp_common.kernel_name ());
@@ -148,16 +148,22 @@ let emit_json ~edges:e ~dur ~shards ~fluid_flows ~foreground ~wall ~headline
      \"duration_s\": %g, \"shards\": %d, \"fluid_flows\": %d, \
      \"foreground_flows\": %d},\n"
     e edge_bw dur shards fluid_flows foreground;
-  Printf.fprintf oc
-    "  \"headline\": {\"flow_seconds_per_wall_second\": {\"scale\": %.1f}},\n"
-    headline;
-  Printf.fprintf oc "  \"wall_s\": %s,\n" (json_num wall);
-  Printf.fprintf oc
-    "  \"fluid\": {\"bytes_in\": %.1f, \"bytes_out\": %.1f, \"bytes_shed\": \
-     %.1f, \"backlog\": %.1f},\n"
-    bytes_in bytes_out shed backlog;
-  Printf.fprintf oc "  \"mean_foreground_tput_mbps\": %s\n"
-    (json_num mean_fg_tput);
+  Exp_common.emit_failed_runs oc failures;
+  (match body with
+  | None -> output_string oc "  \"degraded\": true\n"
+  | Some (wall, headline, (bytes_in, bytes_out, shed, backlog), mean_fg_tput)
+    ->
+      Printf.fprintf oc
+        "  \"headline\": {\"flow_seconds_per_wall_second\": {\"scale\": \
+         %.1f}},\n"
+        headline;
+      Printf.fprintf oc "  \"wall_s\": %s,\n" (json_num wall);
+      Printf.fprintf oc
+        "  \"fluid\": {\"bytes_in\": %.1f, \"bytes_out\": %.1f, \
+         \"bytes_shed\": %.1f, \"backlog\": %.1f},\n"
+        bytes_in bytes_out shed backlog;
+      Printf.fprintf oc "  \"mean_foreground_tput_mbps\": %s\n"
+        (json_num mean_fg_tput));
   output_string oc "}\n";
   close_out oc
 
@@ -177,18 +183,13 @@ let run () =
   Printf.printf
     "edges %d | fluid flows %d | foreground flows %d | %g sim-s | shards %d\n%!"
     e fluid_flows foreground dur shards;
-  let sh =
-    Shard.create ~seed:20_260_808 ~kernel:!Exp_common.kernel ~shards
-      ~epoch:0.5 topo specs
-  in
   (* Fan the shards over the shared `--jobs` pool when present, else a
      dedicated one sized to the shard count. Either way (and
      sequentially) the results are byte-identical. *)
   let local_pool =
     match !Exp_common.pool with
     | Some _ -> None
-    | None when Shard.num_shards sh > 1 ->
-        Some (Pool.create ~jobs:(Shard.num_shards sh))
+    | None when shards > 1 -> Some (Pool.create ~jobs:shards)
     | None -> None
   in
   let pool =
@@ -196,55 +197,118 @@ let run () =
     | Some p, _ | None, Some p -> Some p
     | None, None -> None
   in
-  let t_wall = Unix.gettimeofday () in
-  Shard.run ?pool sh ~until:dur;
-  let wall = Unix.gettimeofday () -. t_wall in
-  (match local_pool with Some p -> Pool.shutdown p | None -> ());
-  Shard.assert_quiesced sh;
-  let flow_seconds = float_of_int (fluid_flows + foreground) *. dur in
-  let headline = flow_seconds /. Float.max wall 1e-9 in
-  (* Aggregate the per-edge fluid ledgers and the foreground goodput. *)
-  let sums = Array.make 4 0.0 in
-  for edge = 0 to e - 1 do
-    match Shard.fluid_totals sh edge with
-    | None -> ()
-    | Some (a, b, c, d) ->
-        sums.(0) <- sums.(0) +. a;
-        sums.(1) <- sums.(1) +. b;
-        sums.(2) <- sums.(2) +. c;
-        sums.(3) <- sums.(3) +. d
-  done;
-  let t0 = dur /. 3.0 in
-  let fg_tputs =
-    Array.init foreground (fun i ->
-        Net.Flow_stats.throughput_mbps (Shard.flow_stats sh i) ~t0 ~t1:dur)
+  (* The whole farm is one supervised run (id "scale/farm"): every
+     shard's sim is armed with the budgets, so a crash, audit
+     violation, stall or budget overrun anywhere in the farm degrades
+     the experiment instead of killing the bench. Shard construction
+     happens inside the task so a retry starts from pristine state. *)
+  let rid = "scale/farm" in
+  let task () =
+    match List.assoc_opt rid !Exp_common.injections with
+    | Some inj -> Exp_common.Harness.Sweep.run_injected rid inj
+    | None ->
+        let sh =
+          Shard.create ~seed:20_260_808 ~kernel:!Exp_common.kernel ~shards
+            ~epoch:0.5 topo specs
+        in
+        for i = 0 to Shard.num_shards sh - 1 do
+          Exp_common.arm (Shard.runner_at sh i)
+        done;
+        let t_wall = Unix.gettimeofday () in
+        Shard.run ?pool sh ~until:dur;
+        let wall = Unix.gettimeofday () -. t_wall in
+        Shard.assert_quiesced sh;
+        (sh, wall)
   in
-  let mean_fg_tput = Proteus_stats.Descriptive.mean fg_tputs in
-  let shed_frac = if sums.(0) > 0.0 then sums.(2) /. sums.(0) else 0.0 in
-  Printf.printf
-    "wall %.1f s | %.3g flow-seconds | headline %.3g flow-s/wall-s\n" wall
-    flow_seconds headline;
-  Printf.printf
-    "fluid: %.3g bytes in, shed fraction %.4f | mean foreground tput %.2f \
-     Mb/s\n"
-    sums.(0) shed_frac mean_fg_tput;
-  Printf.printf "audits: clean (packet, hop and fluid conservation)\n";
-  emit_json ~edges:e ~dur ~shards:(Shard.num_shards sh) ~fluid_flows
-    ~foreground ~wall ~headline
-    ~fluid_sums:(sums.(0), sums.(1), sums.(2), sums.(3))
-    ~mean_fg_tput;
-  Printf.printf "(wrote BENCH_scale.json)\n";
-  let oc = open_out "SCALE_digest.txt" in
-  output_string oc (digest ~edges:e ~dur sh);
-  close_out oc;
-  Printf.printf "(wrote SCALE_digest.txt)\n";
-  [
-    ("edges", string_of_int e);
-    ("duration_s", Printf.sprintf "%g" dur);
-    ("shards", string_of_int (Shard.num_shards sh));
-    ("fluid_flows", string_of_int fluid_flows);
-    ("foreground_flows", string_of_int foreground);
-  ]
+  let outcome =
+    Exp_common.Harness.Supervisor.run
+      ~budget:(Exp_common.supervision_budget ())
+      task
+  in
+  (match local_pool with Some p -> Pool.shutdown p | None -> ());
+  match outcome with
+  | Exp_common.Harness.Outcome.Completed (sh, wall) ->
+      let flow_seconds = float_of_int (fluid_flows + foreground) *. dur in
+      let headline = flow_seconds /. Float.max wall 1e-9 in
+      (* Aggregate the per-edge fluid ledgers and the foreground goodput. *)
+      let sums = Array.make 4 0.0 in
+      for edge = 0 to e - 1 do
+        match Shard.fluid_totals sh edge with
+        | None -> ()
+        | Some (a, b, c, d) ->
+            sums.(0) <- sums.(0) +. a;
+            sums.(1) <- sums.(1) +. b;
+            sums.(2) <- sums.(2) +. c;
+            sums.(3) <- sums.(3) +. d
+      done;
+      let t0 = dur /. 3.0 in
+      let fg_tputs =
+        Array.init foreground (fun i ->
+            Net.Flow_stats.throughput_mbps (Shard.flow_stats sh i) ~t0 ~t1:dur)
+      in
+      let mean_fg_tput = Proteus_stats.Descriptive.mean fg_tputs in
+      let shed_frac = if sums.(0) > 0.0 then sums.(2) /. sums.(0) else 0.0 in
+      Printf.printf
+        "wall %.1f s | %.3g flow-seconds | headline %.3g flow-s/wall-s\n" wall
+        flow_seconds headline;
+      Printf.printf
+        "fluid: %.3g bytes in, shed fraction %.4f | mean foreground tput \
+         %.2f Mb/s\n"
+        sums.(0) shed_frac mean_fg_tput;
+      Printf.printf "audits: clean (packet, hop and fluid conservation)\n";
+      emit_json ~edges:e ~dur ~shards:(Shard.num_shards sh) ~fluid_flows
+        ~foreground ~failures:[]
+        (Some (wall, headline, (sums.(0), sums.(1), sums.(2), sums.(3)),
+               mean_fg_tput));
+      Printf.printf "(wrote BENCH_scale.json)\n";
+      let oc = open_out "SCALE_digest.txt" in
+      output_string oc (digest ~edges:e ~dur sh);
+      close_out oc;
+      Printf.printf "(wrote SCALE_digest.txt)\n";
+      [
+        ("edges", string_of_int e);
+        ("duration_s", Printf.sprintf "%g" dur);
+        ("shards", string_of_int (Shard.num_shards sh));
+        ("fluid_flows", string_of_int fluid_flows);
+        ("foreground_flows", string_of_int foreground);
+      ]
+      @ Exp_common.outcome_params
+          {
+            Exp_common.Harness.Sweep.completed = 1;
+            failed = 0;
+            quarantined = 0;
+            resumed = 0;
+          }
+  | o ->
+      let failure =
+        {
+          Exp_common.Harness.Sweep.f_run = rid;
+          f_outcome = Exp_common.Harness.Outcome.label o;
+          f_detail = Exp_common.Harness.Outcome.detail o;
+          f_attempts = 1;
+        }
+      in
+      let summary =
+        {
+          Exp_common.Harness.Sweep.completed = 0;
+          failed = 1;
+          quarantined = 1;
+          resumed = 0;
+        }
+      in
+      Exp_common.note_failures "scale" summary;
+      Printf.printf "scale: run failed (%s); wrote degraded BENCH_scale.json\n"
+        (Exp_common.Harness.Outcome.describe o);
+      emit_json ~edges:e ~dur ~shards ~fluid_flows ~foreground
+        ~failures:[ failure ] None;
+      [
+        ("edges", string_of_int e);
+        ("duration_s", Printf.sprintf "%g" dur);
+        ("shards", string_of_int shards);
+        ("fluid_flows", string_of_int fluid_flows);
+        ("foreground_flows", string_of_int foreground);
+      ]
+      @ Exp_common.outcome_params summary
 
 (* ---------- smoke (wired into `dune runtest` via @scale-smoke) ---------- *)
 

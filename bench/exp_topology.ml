@@ -60,6 +60,7 @@ let run_parking ~seed ~e2e =
   let t0 = dur /. 3.0 in
   let topo = Net.Topology.chain (List.init parking_hops (fun _ -> hop_cfg ())) in
   let r = Net.Runner.create_topo ~seed ~kernel:!Exp_common.kernel topo in
+  Exp_common.arm r;
   let _audit = Net.Runner.attach_audit r in
   let e2e_flow =
     Option.map
@@ -95,6 +96,7 @@ let run_revpath ~seed ~e2e =
   let t0 = dur /. 3.0 in
   let topo = Net.Topology.chain [ rev_cfg () ] in
   let r = Net.Runner.create_topo ~seed ~kernel:!Exp_common.kernel topo in
+  Exp_common.arm r;
   let _audit = Net.Runner.attach_audit r in
   let probe =
     Option.map
@@ -137,6 +139,39 @@ let scenarios =
 let protos =
   Exp_common.[ proteus_p; proteus_s; cubic; bbr; copa; ledbat_100 ]
 
+(* ---------- journal codec ---------- *)
+
+(* %h floats round-trip byte-exactly through the journal, which is what
+   lets a --resume sweep reproduce BENCH_topology.json byte-for-byte.
+   First token is the e2e summary ("-" for baseline trials), the rest
+   are the cross flows' rates. *)
+let encode_trial (r : trial_result) =
+  String.concat " "
+    ((match r.e2e with
+     | Some s -> Printf.sprintf "%h,%h,%h" s.tput s.mean_rtt_ms s.loss_frac
+     | None -> "-")
+    :: List.map (Printf.sprintf "%h") (Array.to_list r.cross_tputs))
+
+let decode_trial s =
+  match String.split_on_char ' ' s with
+  | e2e :: crosses ->
+      {
+        e2e =
+          (if e2e = "-" then None
+           else
+             match String.split_on_char ',' e2e with
+             | [ t; rtt; l ] ->
+                 Some
+                   {
+                     tput = float_of_string t;
+                     mean_rtt_ms = float_of_string rtt;
+                     loss_frac = float_of_string l;
+                   }
+             | _ -> failwith "topology: corrupt journal payload");
+        cross_tputs = Array.of_list (List.map float_of_string crosses);
+      }
+  | [] -> failwith "topology: corrupt journal payload"
+
 (* ---------- sweep ---------- *)
 
 type row = {
@@ -157,13 +192,22 @@ let seed_for root ~si ~pi ~tr =
   let key = (((si * 64) + pi) * 64) + tr in
   1 + Rng.int (Rng.split_at root ~key) 1_000_000
 
+(* Baseline (no-e2e) and protocol trials run through one supervised
+   sweep: baselines take run ids "base/<scenario>/tN", protocol runs
+   "<scenario>/<cc>/tN". A failed protocol trial drops out of its
+   cell's aggregation; a failed baseline additionally voids the harm
+   metric for that (scenario, trial) — harm needs the matching
+   baseline, so those trials are skipped rather than guessed. *)
 let sweep () =
   let root = Rng.create ~seed:20_260_807 in
   let trials = Exp_common.trials () in
+  let mk si sc pi p tr =
+    (si, sc, pi, p, tr, seed_for root ~si ~pi ~tr)
+  in
   let base_tasks =
     List.concat
       (List.mapi
-         (fun si sc -> List.init trials (fun tr -> (si, sc, tr)))
+         (fun si sc -> List.init trials (fun tr -> mk si sc 63 None tr))
          scenarios)
   in
   let cc_tasks =
@@ -172,79 +216,110 @@ let sweep () =
          (fun si sc ->
            List.concat
              (List.mapi
-                (fun pi p -> List.init trials (fun tr -> (si, sc, pi, p, tr)))
+                (fun pi p ->
+                  List.init trials (fun tr -> mk si sc pi (Some p) tr))
                 protos))
          scenarios)
   in
-  let baselines =
-    Exp_common.par_map
-      (fun (si, sc, tr) ->
-        let seed = seed_for root ~si ~pi:63 ~tr in
-        ((si, tr), (sc.run_trial ~seed ~e2e:None).cross_tputs))
-      base_tasks
+  let tasks = base_tasks @ cc_tasks in
+  let cfg =
+    Exp_common.sweep_config ~journal:"JOURNAL_topology.jsonl"
+      ~params:
+        [
+          "topology";
+          Exp_common.scale_name ();
+          Exp_common.kernel_name ();
+          string_of_int trials;
+          Printf.sprintf "%g" (duration ());
+        ]
   in
-  let results =
-    Exp_common.par_map
-      (fun (si, sc, pi, (p : Exp_common.proto), tr) ->
-        let seed = seed_for root ~si ~pi ~tr in
-        (si, pi, tr, sc.run_trial ~seed ~e2e:(Some p)))
-      cc_tasks
+  let srows =
+    Exp_common.sup_map cfg
+      ~run_id:(fun (_, sc, _, p, tr, _) ->
+        match p with
+        | None -> Printf.sprintf "base/%s/t%d" sc.sid tr
+        | Some (p : Exp_common.proto) ->
+            Printf.sprintf "%s/%s/t%d" sc.sid p.Exp_common.name tr)
+      ~seed_of:(fun (_, _, _, _, _, seed) -> seed)
+      ~encode:encode_trial ~decode:decode_trial
+      (fun (_, sc, _, p, _, seed) -> sc.run_trial ~seed ~e2e:p)
+      tasks
   in
-  List.concat
-    (List.mapi
-       (fun si sc ->
-         List.mapi
-           (fun pi (p : Exp_common.proto) ->
-             let mine =
-               List.filter_map
-                 (fun (si', pi', tr, r) ->
-                   if si' = si && pi' = pi then Some (tr, r) else None)
-                 results
-             in
-             let harm_of (tr, (r : trial_result)) =
-               let base = List.assoc (si, tr) baselines in
-               let ratios =
-                 Array.mapi
-                   (fun i b ->
-                     if b > 0.0 then r.cross_tputs.(i) /. b else 1.0)
-                   base
+  let vals =
+    List.map2
+      (fun (si, _, pi, _, tr, _)
+           (r : trial_result Exp_common.Harness.Sweep.row) ->
+        (si, pi, tr, r.Exp_common.Harness.Sweep.r_value))
+      tasks srows
+  in
+  let baseline si tr =
+    List.find_map
+      (fun (si', pi', tr', v) ->
+        if si' = si && pi' = 63 && tr' = tr then v else None)
+      vals
+  in
+  let agg =
+    List.concat
+      (List.mapi
+         (fun si sc ->
+           List.mapi
+             (fun pi (p : Exp_common.proto) ->
+               let mine =
+                 List.filter_map
+                   (fun (si', pi', tr, v) ->
+                     match v with
+                     | Some r when si' = si && pi' = pi -> Some (tr, r)
+                     | _ -> None)
+                   vals
                in
-               Float.max 0.0 (1.0 -. D.mean ratios)
-             in
-             let arr f = Array.of_list (List.map f mine) in
-             let e2e_ci f =
-               Exp_common.mean_ci95 (arr (fun (_, r) -> f (Option.get r.e2e)))
-             in
-             let tput_m, tput_ci = e2e_ci (fun s -> s.tput) in
-             let rtt_m, rtt_ci = e2e_ci (fun s -> s.mean_rtt_ms) in
-             let loss_m, _ = e2e_ci (fun s -> s.loss_frac) in
-             let harm_m, harm_ci = Exp_common.mean_ci95 (arr harm_of) in
-             {
-               scenario = sc.sid;
-               cc = p.Exp_common.name;
-               mean =
-                 {
-                   tput = tput_m;
-                   mean_rtt_ms = rtt_m;
-                   loss_frac = loss_m;
-                 };
-               harm = harm_m;
-               tput_ci;
-               rtt_ci;
-               harm_ci;
-               trials = List.length mine;
-             })
-           protos)
-       scenarios)
+               let harm_of (tr, (r : trial_result)) =
+                 match baseline si tr with
+                 | None -> None  (* baseline failed: harm undefined *)
+                 | Some base ->
+                     let ratios =
+                       Array.mapi
+                         (fun i b ->
+                           if b > 0.0 then r.cross_tputs.(i) /. b else 1.0)
+                         base.cross_tputs
+                     in
+                     Some (Float.max 0.0 (1.0 -. D.mean ratios))
+               in
+               let arr f = Array.of_list (List.map f mine) in
+               let e2e_ci f =
+                 Exp_common.mean_ci95
+                   (arr (fun (_, r) -> f (Option.get r.e2e)))
+               in
+               let tput_m, tput_ci = e2e_ci (fun s -> s.tput) in
+               let rtt_m, rtt_ci = e2e_ci (fun s -> s.mean_rtt_ms) in
+               let loss_m, _ = e2e_ci (fun s -> s.loss_frac) in
+               let harm_m, harm_ci =
+                 Exp_common.mean_ci95
+                   (Array.of_list (List.filter_map harm_of mine))
+               in
+               {
+                 scenario = sc.sid;
+                 cc = p.Exp_common.name;
+                 mean =
+                   { tput = tput_m; mean_rtt_ms = rtt_m; loss_frac = loss_m };
+                 harm = harm_m;
+                 tput_ci;
+                 rtt_ci;
+                 harm_ci;
+                 trials = List.length mine;
+               })
+             protos)
+         scenarios)
+  in
+  (agg, srows)
 
 (* ---------- output ---------- *)
 
 let json_num v =
   if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
 
-let emit_json rows =
+let emit_json rows failures =
   let oc = open_out "BENCH_topology.json" in
-  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-topology/1\",\n";
+  output_string oc "{\n  \"schema\": \"pcc-proteus-bench-topology/2\",\n";
   Printf.fprintf oc "  \"code_version\": \"%s\",\n"
     (Proteus_obs.Manifest.code_version ());
   Printf.fprintf oc "  \"kernel\": \"%s\",\n" (Exp_common.kernel_name ());
@@ -252,6 +327,7 @@ let emit_json rows =
     "  \"config\": {\"parking_hops\": %d, \"hop_bandwidth_mbps\": %g, \
      \"rev_bandwidth_mbps\": %g, \"duration_s\": %g},\n"
     parking_hops hop_bw rev_bw (duration ());
+  Exp_common.emit_failed_runs oc failures;
   output_string oc "  \"results\": [\n";
   List.iteri
     (fun i r ->
@@ -277,7 +353,12 @@ let run () =
        (3-hop chain w/ per-hop CUBIC cross traffic; 1-hop reverse-path \
        squeeze)"
   @@ fun () ->
-  let rows = sweep () in
+  let rows, srows = sweep () in
+  let failures = Exp_common.sweep_failures srows in
+  let summary =
+    Exp_common.Harness.Sweep.summarize ~retries:!Exp_common.retries srows
+  in
+  Exp_common.note_failures "topology" summary;
   let current = ref "" in
   List.iter
     (fun r ->
@@ -290,8 +371,11 @@ let run () =
       Printf.printf "%-12s %10.2f %10.2f %8.4f %7.1f%%\n" r.cc r.mean.tput
         r.mean.mean_rtt_ms r.mean.loss_frac (100.0 *. r.harm))
     rows;
-  emit_json rows;
+  emit_json rows failures;
   Printf.printf "\n(wrote BENCH_topology.json)\n";
+  if summary.failed > 0 then
+    Printf.printf "(%d of %d runs failed; see failed_runs)\n" summary.failed
+      (summary.completed + summary.failed);
   Printf.printf
     "\nShape check: on the parking lot the scavengers (proteus-s,\n\
      ledbat) leave the per-hop CUBIC crosses nearly untouched (harm ~0)\n\
@@ -305,6 +389,7 @@ let run () =
     ("duration_s", Printf.sprintf "%g" (duration ()));
     ("parking_hops", string_of_int parking_hops);
   ]
+  @ Exp_common.outcome_params summary
 
 (* ---------- smoke (wired into `dune runtest` via @topology-smoke) ---------- *)
 

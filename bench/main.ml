@@ -16,7 +16,15 @@
 
    --trace FILE / --metrics FILE export the observability bus and a
    metrics snapshot from experiments that support per-run tracing
-   (currently faults-smoke); tracing never changes results. *)
+   (currently faults-smoke); tracing never changes results.
+
+   The sweep experiments (faults, topology, scale) run under the
+   lib/harness supervisor: --wall-budget/--stall-budget/--event-budget
+   bound each run, --retries retries failed runs with escalating
+   budgets, --resume skips runs already journaled in JOURNAL_<id>.jsonl,
+   and --inject KIND:RUN_ID plants deterministic faults for chaos
+   testing. Exit code: 0 = every run completed, 2 = degraded (some runs
+   failed but the sweep finished), 1 = fatal. *)
 
 let experiments : (string * (unit -> unit)) list =
   [
@@ -64,7 +72,17 @@ let usage () =
     \  --kernel K     event-kernel backend: heap (default) or wheel\n\
     \  --trials N     override the scale-derived trial count (1..64)\n\
     \  --shards N     shard count for intra-trial sharded experiments\n\
-    \                 (scale; byte-identical for any N, default 4)\n"
+    \                 (scale; byte-identical for any N, default 4)\n\
+    \  --retries N    retry failed sweep runs up to N times with\n\
+    \                 escalating wall/stall budgets (default 0)\n\
+    \  --resume       skip sweep runs already journaled in\n\
+    \                 JOURNAL_<id>.jsonl (after a crash or kill)\n\
+    \  --wall-budget S    per-run wall-clock budget (seconds)\n\
+    \  --stall-budget S   poison a run when sim-time stops advancing\n\
+    \                     for S wall seconds (livelock detector)\n\
+    \  --event-budget N   per-sim fired-event budget\n\
+    \  --inject KIND:RUN_ID  inject a fault into a sweep run\n\
+    \                 (KIND: crash | stall | audit; repeatable)\n"
 
 let parse_kernel s =
   match s with
@@ -98,6 +116,44 @@ let parse_shards s =
       Printf.eprintf "--shards expects a positive integer, got %S\n" s;
       exit 1
 
+let parse_retries s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> n
+  | _ ->
+      Printf.eprintf "--retries expects a non-negative integer, got %S\n" s;
+      exit 1
+
+let parse_budget_s flag s =
+  match float_of_string_opt s with
+  | Some x when x > 0.0 -> x
+  | _ ->
+      Printf.eprintf "%s expects a positive number of seconds, got %S\n" flag s;
+      exit 1
+
+let parse_event_budget s =
+  match int_of_string_opt s with
+  | Some n when n > 0 -> n
+  | _ ->
+      Printf.eprintf "--event-budget expects a positive integer, got %S\n" s;
+      exit 1
+
+let parse_inject s =
+  let fail () =
+    Printf.eprintf
+      "--inject expects KIND:RUN_ID with KIND one of crash|stall|audit, got \
+       %S\n"
+      s;
+    exit 1
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rid = String.sub s (i + 1) (String.length s - i - 1) in
+      match Proteus_harness.Sweep.inject_of_string kind with
+      | Some inj when rid <> "" -> (rid, inj)
+      | _ -> fail ())
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse acc = function
@@ -129,9 +185,31 @@ let () =
     | "--shards" :: n :: rest ->
         Exp_common.shards := parse_shards n;
         parse acc rest
-    | [ ("--trace" | "--metrics" | "--kernel" | "--trials" | "--shards") ] ->
+    | "--resume" :: rest ->
+        Exp_common.resume := true;
+        parse acc rest
+    | "--retries" :: n :: rest ->
+        Exp_common.retries := parse_retries n;
+        parse acc rest
+    | "--wall-budget" :: s :: rest ->
+        Exp_common.wall_budget := Some (parse_budget_s "--wall-budget" s);
+        parse acc rest
+    | "--stall-budget" :: s :: rest ->
+        Exp_common.stall_budget := Some (parse_budget_s "--stall-budget" s);
+        parse acc rest
+    | "--event-budget" :: n :: rest ->
+        Exp_common.event_budget := Some (parse_event_budget n);
+        parse acc rest
+    | "--inject" :: s :: rest ->
+        Exp_common.injections := !Exp_common.injections @ [ parse_inject s ];
+        parse acc rest
+    | [ ("--trace" | "--metrics" | "--kernel" | "--trials" | "--shards"
+        | "--retries" | "--wall-budget" | "--stall-budget" | "--event-budget"
+        | "--inject") ] ->
         Printf.eprintf
-          "--trace/--metrics/--kernel/--trials/--shards expect an argument\n";
+          "--trace/--metrics/--kernel/--trials/--shards/--retries/\
+           --wall-budget/--stall-budget/--event-budget/--inject expect an \
+           argument\n";
         exit 1
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -182,18 +260,30 @@ let () =
       ids
   in
   let t_start = Unix.gettimeofday () in
-  List.iter
-    (fun id ->
-      match List.assoc_opt id experiments with
-      | Some f ->
-          let t0 = Unix.gettimeofday () in
-          f ();
-          Printf.printf "[%s done in %.1f s]\n%!" id (Unix.gettimeofday () -. t0)
-      | None ->
-          Printf.eprintf "unknown experiment %S\n" id;
-          usage ();
-          exit 1)
-    ids;
+  (* An exception escaping an experiment means the harness itself broke
+     (sweep-run failures are absorbed by the supervisor and reported
+     via the degraded path below): fatal, exit 1. Without the handler
+     OCaml's uncaught-exception exit code would be 2 and collide with
+     "degraded". *)
+  (try
+     List.iter
+       (fun id ->
+         match List.assoc_opt id experiments with
+         | Some f ->
+             let t0 = Unix.gettimeofday () in
+             f ();
+             Printf.printf "[%s done in %.1f s]\n%!" id
+               (Unix.gettimeofday () -. t0)
+         | None ->
+             Printf.eprintf "unknown experiment %S\n" id;
+             usage ();
+             exit 1)
+       ids
+   with e ->
+     let bt = Printexc.get_backtrace () in
+     Printf.eprintf "bench: fatal: %s\n%s%!" (Printexc.to_string e) bt;
+     Exp_common.shutdown_pool ();
+     exit 1);
   Printf.printf "\nTotal: %.1f s (scale: %s, jobs: %d)\n"
     (Unix.gettimeofday () -. t_start)
     (match !Exp_common.scale with
@@ -201,4 +291,15 @@ let () =
     | Exp_common.Default -> "default"
     | Exp_common.Full -> "full")
     !Exp_common.jobs;
-  Exp_common.shutdown_pool ()
+  Exp_common.shutdown_pool ();
+  match !Exp_common.degraded with
+  | [] -> ()
+  | ledger ->
+      List.iter
+        (fun (id, (s : Proteus_harness.Sweep.summary)) ->
+          Printf.eprintf
+            "bench: degraded: %s finished with %d failed run(s) (%d \
+             quarantined, %d completed, %d resumed)\n"
+            id s.failed s.quarantined s.completed s.resumed)
+        (List.rev ledger);
+      exit 2

@@ -112,8 +112,11 @@ let parse_topology = function
 
 module Obs = Proteus_obs
 
+(* Exit codes: 0 = clean run, 2 = the supervised simulation failed
+   (crash / audit violation / budget) but was reported, 1 = usage or
+   internal error. *)
 let run bw rtt buffer_kb loss noise duration seed series topology trace_file
-    metrics_file manifest_file specs =
+    metrics_file manifest_file wall_budget stall_budget event_budget specs =
   match
     ( List.map parse_flow_spec specs
       |> List.fold_left
@@ -129,11 +132,11 @@ let run bw rtt buffer_kb loss noise duration seed series topology trace_file
   with
   | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline ("proteus-sim: " ^ e);
-      exit 2
+      exit 1
   | Ok flows, Ok noise_spec, Ok topo_spec ->
       if flows = [] then begin
         prerr_endline "proteus-sim: no flows given (try: proteus-sim cubic)";
-        exit 2
+        exit 1
       end;
       let cfg ~rtt_ms =
         Net.Link.config ~loss_rate:loss ~noise:noise_spec ~bandwidth_mbps:bw
@@ -162,7 +165,7 @@ let run bw rtt buffer_kb loss noise duration seed series topology trace_file
         | None, (Hop _ | Reverse) ->
             prerr_endline
               "proteus-sim: %HOP/%rev flow routes need --topology chainN";
-            exit 2
+            exit 1
         | Some t, Forward -> Some (Net.Topology.chain_route t)
         | Some t, Hop h ->
             let n = Net.Topology.chain_hops t in
@@ -170,7 +173,7 @@ let run bw rtt buffer_kb loss noise duration seed series topology trace_file
               prerr_endline
                 (Printf.sprintf
                    "proteus-sim: hop %d out of range (chain has %d hops)" h n);
-              exit 2
+              exit 1
             end;
             Some (Net.Topology.hop_route t ~hop:h)
         | Some t, Reverse ->
@@ -188,7 +191,7 @@ let run bw rtt buffer_kb loss noise duration seed series topology trace_file
             match protocol_factory spec.proto with
             | Error e ->
                 prerr_endline ("proteus-sim: " ^ e);
-                exit 2
+                exit 1
             | Ok factory ->
                 let label = Printf.sprintf "%s#%d" spec.proto i in
                 let size_bytes =
@@ -199,7 +202,23 @@ let run bw rtt buffer_kb loss noise duration seed series topology trace_file
                     ?route:(route_for spec) ~label ~factory ))
           flows
       in
-      Net.Runner.run runner ~until:duration;
+      (* The simulation proper runs supervised: budgets (if any) are
+         armed on the runner's sim, and a crash / audit violation /
+         stall / budget overrun is reported with the stats collected so
+         far instead of a raw backtrace. *)
+      let outcome =
+        Proteus_harness.Supervisor.run
+          ~budget:
+            {
+              Proteus_harness.Supervisor.max_events = event_budget;
+              max_sim_time = None;
+              wall_s = wall_budget;
+              stall_s = stall_budget;
+            }
+          (fun () ->
+            Proteus_harness.Supervisor.arm_runner runner;
+            Net.Runner.run runner ~until:duration)
+      in
       Printf.printf
         "link: %.0f Mbps, %.0f ms RTT, %.0f KB buffer, loss %.3f%%, noise %s, \
          topology %s\n\n"
@@ -261,7 +280,7 @@ let run bw rtt buffer_kb loss noise duration seed series topology trace_file
           Obs.Export.metrics_to_file ~path reg;
           Printf.printf "(wrote %s)\n" path
       | _ -> ());
-      match manifest_file with
+      (match manifest_file with
       | Some path ->
           Obs.Manifest.write ~path ~run:"proteus-sim" ~seed
             ~scenario:(String.concat " " specs)
@@ -274,10 +293,18 @@ let run bw rtt buffer_kb loss noise duration seed series topology trace_file
                 ("noise", noise);
                 ("topology", topology);
                 ("duration_s", Printf.sprintf "%g" duration);
+                ("outcome", Proteus_harness.Outcome.label outcome);
               ]
             ?registry ();
           Printf.printf "(wrote %s)\n" path
-      | None -> ()
+      | None -> ());
+      match outcome with
+      | Proteus_harness.Outcome.Completed () -> 0
+      | o ->
+          Printf.eprintf "proteus-sim: run failed: %s (stats above are \
+                          partial)\n"
+            (Proteus_harness.Outcome.describe o);
+          2
 
 open Cmdliner
 
@@ -337,15 +364,43 @@ let manifest_file =
         ~doc:"Write a run manifest (seed, scenario, link parameters, code \
               version, metrics snapshot).")
 
+let wall_budget =
+  Arg.(
+    value & opt (some float) None
+    & info [ "wall-budget" ] ~docv:"S"
+        ~doc:"Abort the run if it takes more than $(docv) wall-clock \
+              seconds (reported as timed-out, exit code 2).")
+
+let stall_budget =
+  Arg.(
+    value & opt (some float) None
+    & info [ "stall-budget" ] ~docv:"S"
+        ~doc:"Abort the run if simulated time stops advancing for $(docv) \
+              wall-clock seconds (livelock detector; exit code 2).")
+
+let event_budget =
+  Arg.(
+    value & opt (some int) None
+    & info [ "event-budget" ] ~docv:"N"
+        ~doc:"Abort the run after $(docv) fired simulator events (exit \
+              code 2).")
+
 let specs =
   Arg.(value & pos_all string [] & info [] ~docv:"FLOW" ~doc:"Flow specs: PROTO[@START][:SIZE_MB].")
 
 let cmd =
   let doc = "packet-level congestion-control scenarios (PCC Proteus reproduction)" in
+  (* Exit codes: 0 clean, 2 supervised-run failure, 1 anything else
+     (including cmdline errors, mapped from cmdliner's 124). *)
   Cmd.v
     (Cmd.info "proteus-sim" ~doc)
     Term.(
       const run $ bw $ rtt $ buffer_kb $ loss $ noise $ duration $ seed
-      $ series $ topology $ trace_file $ metrics_file $ manifest_file $ specs)
+      $ series $ topology $ trace_file $ metrics_file $ manifest_file
+      $ wall_budget $ stall_budget $ event_budget $ specs)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  match Cmd.eval' cmd with
+  | 0 -> exit 0
+  | 2 -> exit 2
+  | _ -> exit 1

@@ -38,6 +38,39 @@ let st_cancelled = '\002'
 
 type kernel = Heap_kernel | Wheel_kernel
 
+(* Supervision guard: budgets checked inside the run loop, plus the
+   channel a monitor domain uses to interrupt a run it has decided is
+   stalled or over its wall-clock budget. Every sim carries a guard —
+   the default one has infinite budgets and private atomics, so the
+   per-event cost of supervision is two compares whether or not anyone
+   is watching. *)
+type guard = {
+  g_max_events : int;  (* fired-event budget; [max_int] = unlimited *)
+  g_max_sim_time : float;  (* virtual-clock budget; [infinity] = unlimited *)
+  g_poison : int Atomic.t;  (* 0 = run, 1 = wall-clock kill, 2 = stall kill *)
+  g_hb_events : int Atomic.t;  (* heartbeat: events fired, published ~1/256 *)
+  g_hb_sim_us : int Atomic.t;  (* heartbeat: virtual clock in microseconds *)
+}
+
+type interrupt = Event_budget | Sim_time_budget | Wall_clock | No_progress
+
+exception Interrupted of interrupt
+
+let interrupt_label = function
+  | Event_budget -> "event-budget"
+  | Sim_time_budget -> "sim-time-budget"
+  | Wall_clock -> "wall-clock"
+  | No_progress -> "no-progress"
+
+let make_guard ?(max_events = max_int) ?(max_sim_time = infinity) () =
+  {
+    g_max_events = max_events;
+    g_max_sim_time = max_sim_time;
+    g_poison = Atomic.make 0;
+    g_hb_events = Atomic.make 0;
+    g_hb_sim_us = Atomic.make 0;
+  }
+
 (* Per-lane SoA ring buffer. The tail entry's time (the most recently
    pushed) is the monotonicity bound for the next push. *)
 type lane_buf = {
@@ -78,6 +111,7 @@ type t = {
   (* Run-loop scratch (see fl above for the float half). *)
   mutable sc_seq : int;
   mutable sc_src : int; (* -1 none, 0 heap, 1 wheel, 2+i lane i *)
+  mutable guard : guard; (* supervision budgets; default = unlimited *)
   (* Observability counters: plain int bumps, always on (two or three
      integer stores per event — cheap enough not to gate). *)
   mutable n_queued : int; (* entries across heap + wheel + lanes *)
@@ -118,6 +152,7 @@ let create ?(kernel = Heap_kernel) () =
       trampoline = noop_fn;
       sc_seq = 0;
       sc_src = -1;
+      guard = make_guard ();
       n_queued = 0;
       n_scheduled = 0;
       n_fired = 0;
@@ -345,6 +380,23 @@ let cancel { sim = t; id; gen } =
     if t.dead > Heap.length t.queue / 2 then compact t
   end
 
+(* ---------- supervision ---------- *)
+
+let set_guard t g = t.guard <- g
+let guard t = t.guard
+
+(* Heartbeat publication + poison check, run every 256 fired events.
+   Cold relative to the per-event budget compares, so kept out of line.
+   The virtual clock is published in whole microseconds (clamped so an
+   [infinity]-timed pathological event cannot produce an undefined
+   float->int conversion). *)
+let guard_tick t g =
+  Atomic.set g.g_hb_events t.n_fired;
+  Atomic.set g.g_hb_sim_us (int_of_float (Float.min t.fl.(0) 1e12 *. 1e6));
+  let p = Atomic.get g.g_poison in
+  if p <> 0 then
+    raise (Interrupted (if p = 1 then Wall_clock else No_progress))
+
 (* ---------- run loop ---------- *)
 
 (* Fire (or reclaim) a pooled cell popped from the heap or wheel. *)
@@ -415,6 +467,14 @@ let run ?until t =
     end
     else begin
       fl.(0) <- fl.(1);
+      (* Supervision: two compares per event on the default (unlimited)
+         guard; the atomic heartbeat/poison exchange runs 1-in-256. The
+         raise leaves the pending event queued, so [now]/[events_fired]
+         read consistently from the interrupt handler. *)
+      let g = t.guard in
+      if t.n_fired >= g.g_max_events then raise (Interrupted Event_budget);
+      if fl.(0) > g.g_max_sim_time then raise (Interrupted Sim_time_budget);
+      if t.n_fired land 255 = 0 then guard_tick t g;
       t.n_queued <- t.n_queued - 1;
       match t.sc_src with
       | 0 ->

@@ -25,6 +25,54 @@ type t
     is a performance choice, not a semantic one. *)
 type kernel = Heap_kernel | Wheel_kernel
 
+(** {2 Supervision}
+
+    Every sim carries a {!guard}: event-count and sim-time budgets
+    enforced inside the run loop, a poison flag a monitor domain can
+    set to interrupt the run, and progress heartbeats (events fired,
+    virtual clock) published roughly every 256 events for that monitor
+    to watch. The default guard is unlimited with private atomics, so
+    unsupervised runs pay only two integer/float compares per event.
+
+    The atomics are the only cross-domain channel: the monitor reads
+    the heartbeats and writes the poison flag; the simulating domain
+    does the reverse. Everything else in the kernel stays
+    single-domain. *)
+type guard = {
+  g_max_events : int;  (** fired-event budget; [max_int] = unlimited *)
+  g_max_sim_time : float;  (** virtual-clock budget; [infinity] = none *)
+  g_poison : int Atomic.t;
+      (** 0 = run; 1 = wall-clock kill ([Wall_clock]); anything else =
+          stall kill ([No_progress]). Checked every 256 fired events,
+          so a poisoned livelock is interrupted promptly. *)
+  g_hb_events : int Atomic.t;  (** heartbeat: total events fired *)
+  g_hb_sim_us : int Atomic.t;  (** heartbeat: virtual clock, µs *)
+}
+
+(** Why a budgeted run stopped. [Event_budget] / [Sim_time_budget] are
+    enforced synchronously by the run loop; [Wall_clock] / [No_progress]
+    are delivered through the poison flag by an external watchdog. *)
+type interrupt = Event_budget | Sim_time_budget | Wall_clock | No_progress
+
+exception Interrupted of interrupt
+(** Raised out of {!run} when a budget is exhausted or the guard is
+    poisoned. The sim remains readable ({!now}, {!events_fired},
+    {!pending}) but the interrupted run should be discarded, not
+    resumed. *)
+
+val interrupt_label : interrupt -> string
+(** Stable kebab-case name, e.g. for journals: ["event-budget"],
+    ["sim-time-budget"], ["wall-clock"], ["no-progress"]. *)
+
+val make_guard : ?max_events:int -> ?max_sim_time:float -> unit -> guard
+(** Fresh guard with its own atomics (defaults: unlimited). *)
+
+val set_guard : t -> guard -> unit
+(** Install a guard. May be called at any time; budgets compare against
+    the sim's lifetime event counter and absolute virtual clock. *)
+
+val guard : t -> guard
+
 val create : ?kernel:kernel -> unit -> t
 (** Fresh simulation with the clock at 0. *)
 

@@ -1,0 +1,195 @@
+(* JSONL checkpoint journal (see journal.mli). The writer and parser
+   agree on one fixed line shape, so the parser is a small cursor
+   scanner rather than a JSON library. *)
+
+type entry = {
+  run : string;
+  seed : int;
+  params : string;
+  attempts : int;
+  outcome : string;
+  detail : string;
+  digest : string;
+  payload : string;
+}
+
+let params_hash parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+(* ---------- serialization ---------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let line e =
+  let buf = Buffer.create (String.length e.payload + 160) in
+  let str k v =
+    Buffer.add_string buf "\"";
+    Buffer.add_string buf k;
+    Buffer.add_string buf "\":\"";
+    escape_into buf v;
+    Buffer.add_string buf "\""
+  in
+  let int k v =
+    Buffer.add_string buf "\"";
+    Buffer.add_string buf k;
+    Buffer.add_string buf "\":";
+    Buffer.add_string buf (string_of_int v)
+  in
+  Buffer.add_char buf '{';
+  str "run" e.run;
+  Buffer.add_char buf ',';
+  int "seed" e.seed;
+  Buffer.add_char buf ',';
+  str "params" e.params;
+  Buffer.add_char buf ',';
+  int "attempts" e.attempts;
+  Buffer.add_char buf ',';
+  str "outcome" e.outcome;
+  Buffer.add_char buf ',';
+  str "detail" e.detail;
+  Buffer.add_char buf ',';
+  str "digest" e.digest;
+  Buffer.add_char buf ',';
+  str "payload" e.payload;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Bad
+
+let parse_line s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let expect lit =
+    let n = String.length lit in
+    if !pos + n > len || String.sub s !pos n <> lit then raise Bad;
+    pos := !pos + n
+  in
+  let parse_string () =
+    expect "\"";
+    let buf = Buffer.create 32 in
+    let rec go () =
+      if !pos >= len then raise Bad;
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          if !pos + 1 >= len then raise Bad;
+          (match s.[!pos + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              if !pos + 5 >= len then raise Bad;
+              let hex = String.sub s (!pos + 2) 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x100 ->
+                  Buffer.add_char buf (Char.chr code)
+              | _ -> raise Bad);
+              pos := !pos + 4
+          | _ -> raise Bad);
+          pos := !pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    while
+      !pos < len && (s.[!pos] = '-' || (s.[!pos] >= '0' && s.[!pos] <= '9'))
+    do
+      incr pos
+    done;
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some n -> n
+    | None -> raise Bad
+  in
+  let str_field k =
+    expect (Printf.sprintf "\"%s\":" k);
+    parse_string ()
+  in
+  let int_field k =
+    expect (Printf.sprintf "\"%s\":" k);
+    parse_int ()
+  in
+  match
+    expect "{";
+    let run = str_field "run" in
+    expect ",";
+    let seed = int_field "seed" in
+    expect ",";
+    let params = str_field "params" in
+    expect ",";
+    let attempts = int_field "attempts" in
+    expect ",";
+    let outcome = str_field "outcome" in
+    expect ",";
+    let detail = str_field "detail" in
+    expect ",";
+    let digest = str_field "digest" in
+    expect ",";
+    let payload = str_field "payload" in
+    expect "}";
+    if !pos <> len then raise Bad;
+    { run; seed; params; attempts; outcome; detail; digest; payload }
+  with
+  | e -> Some e
+  | exception Bad -> None
+
+(* ---------- writer ---------- *)
+
+type writer = { oc : out_channel; mutex : Mutex.t }
+
+let open_writer ~path ~append =
+  let flags =
+    if append then [ Open_append; Open_creat; Open_wronly ]
+    else [ Open_trunc; Open_creat; Open_wronly ]
+  in
+  { oc = open_out_gen flags 0o644 path; mutex = Mutex.create () }
+
+let append w e =
+  let l = line e in
+  Mutex.lock w.mutex;
+  output_string w.oc l;
+  output_char w.oc '\n';
+  flush w.oc;
+  Mutex.unlock w.mutex
+
+let close w = close_out w.oc
+
+(* ---------- reader ---------- *)
+
+let open_in_opt path = try Some (open_in path) with Sys_error _ -> None
+
+let load ~path =
+  let tbl = Hashtbl.create 64 in
+  (match open_in_opt path with
+  | None -> ()
+  | Some ic ->
+      (try
+         while true do
+           match parse_line (input_line ic) with
+           | Some e -> Hashtbl.replace tbl e.run e
+           | None -> ()
+         done
+       with End_of_file -> ());
+      close_in ic);
+  tbl

@@ -1,0 +1,58 @@
+(** Checkpoint journal: one JSONL line per finished run.
+
+    A sweep appends an entry as each run completes (flushed per line,
+    so a killed sweep loses at most the line being written), and a
+    [--resume] sweep loads the journal and skips every run already
+    journaled under the same parameter hash — decoding the stored
+    payload instead of re-simulating, byte-identically.
+
+    The format is a fixed-shape JSON object per line:
+
+    {v
+    {"run":"outage/cubic/t0","seed":123,"params":"<md5>","attempts":1,
+     "outcome":"completed","detail":"","digest":"<md5>","payload":"..."}
+    v}
+
+    [payload] is an opaque caller-encoded string (empty for failures);
+    [digest] is its MD5. The reader is tolerant: unparseable lines —
+    e.g. the torn last line of a killed run — are skipped, and a later
+    entry for the same run id supersedes an earlier one. *)
+
+type entry = {
+  run : string;  (** sweep-unique run id *)
+  seed : int;
+  params : string;  (** parameter-hash guard (see {!params_hash}) *)
+  attempts : int;
+  outcome : string;  (** {!Outcome.label} *)
+  detail : string;  (** {!Outcome.detail} *)
+  digest : string;  (** MD5 hex of [payload] ("" when no payload) *)
+  payload : string;  (** encoded result; "" unless completed *)
+}
+
+val params_hash : string list -> string
+(** MD5 hex over the given configuration strings: the guard that keeps
+    a journal from resuming into a sweep with different scale / trials
+    / kernel / scenario parameters. *)
+
+type writer
+
+val open_writer : path:string -> append:bool -> writer
+(** [append:false] truncates (a fresh sweep); [append:true] extends (a
+    resumed one). *)
+
+val append : writer -> entry -> unit
+(** Serialize, write and flush one line. Thread-safe: runs completing
+    on different pool domains interleave whole lines, never bytes. *)
+
+val close : writer -> unit
+
+val line : entry -> string
+(** The serialized JSONL line (without trailing newline); exposed for
+    tests. *)
+
+val parse_line : string -> entry option
+(** Parse one line; [None] on any mismatch (torn/corrupt lines). *)
+
+val load : path:string -> (string, entry) Hashtbl.t
+(** Read a journal into a run-id-keyed table (later lines supersede
+    earlier ones). Missing file → empty table. *)

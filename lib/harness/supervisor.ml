@@ -1,0 +1,187 @@
+(* Supervised execution: classify every way a run can end, enforce
+   kernel budgets via Sim guards, and watch wall-clock/stall budgets
+   from one shared monitor domain (see supervisor.mli). *)
+
+module Sim = Proteus_eventsim.Sim
+
+type budget = {
+  max_events : int option;
+  max_sim_time : float option;
+  wall_s : float option;
+  stall_s : float option;
+}
+
+let no_budget =
+  { max_events = None; max_sim_time = None; wall_s = None; stall_s = None }
+
+let budget ?max_events ?max_sim_time ?wall_s ?stall_s () =
+  { max_events; max_sim_time; wall_s; stall_s }
+
+let scale_wall b factor =
+  {
+    b with
+    wall_s = Option.map (fun w -> w *. factor) b.wall_s;
+    stall_s = Option.map (fun s -> s *. factor) b.stall_s;
+  }
+
+(* ---------- context ---------- *)
+
+(* One context per active [run] call, scoped to the calling domain.
+   [poison] is shared by every guard the task arms, so the watchdog
+   kills the whole run with one store whichever of its sims is
+   currently executing. *)
+type ctx = {
+  c_budget : budget;
+  c_poison : int Atomic.t;
+  mutable c_guards : Sim.guard list;  (* armed sims, newest first *)
+}
+
+let key : ctx option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* ---------- watchdog ---------- *)
+
+(* A single monitor domain polls every registered context ~50x/s:
+   past-deadline contexts are poisoned with 1 (wall), contexts whose
+   armed sims' virtual clocks have not moved for the whole stall
+   window are poisoned with 2 (stall). Reading heartbeats and writing
+   the poison flag are the only cross-domain interactions. *)
+module Watchdog = struct
+  type entry = {
+    w_ctx : ctx;
+    w_deadline : float;  (* absolute gettimeofday, infinity = none *)
+    w_stall_s : float;  (* infinity = none *)
+    mutable w_sig : int;  (* last observed progress signal *)
+    mutable w_sig_t : float;  (* when it last changed *)
+    mutable w_live : bool;  (* cleared by unregister *)
+  }
+
+  let mutex = Mutex.create ()
+  let entries : entry list ref = ref []
+  let started = ref false
+
+  (* Progress signal: the sum of the armed sims' virtual clocks (µs)
+     plus the arm count, so arming a new sim also counts as progress.
+     Events fired are deliberately excluded — a zero-delay livelock
+     fires events forever without advancing sim-time, and that is
+     exactly the case the stall window must catch. *)
+  let signal ctx =
+    List.fold_left
+      (fun acc (g : Sim.guard) -> acc + Atomic.get g.Sim.g_hb_sim_us + 1)
+      0 ctx.c_guards
+
+  let tick () =
+    let now = Unix.gettimeofday () in
+    Mutex.lock mutex;
+    List.iter
+      (fun e ->
+        if e.w_live && Atomic.get e.w_ctx.c_poison = 0 then begin
+          if now > e.w_deadline then Atomic.set e.w_ctx.c_poison 1
+          else begin
+            let s = signal e.w_ctx in
+            if s <> e.w_sig then begin
+              e.w_sig <- s;
+              e.w_sig_t <- now
+            end
+            else if now -. e.w_sig_t > e.w_stall_s then
+              Atomic.set e.w_ctx.c_poison 2
+          end
+        end)
+      !entries;
+    entries := List.filter (fun e -> e.w_live) !entries;
+    Mutex.unlock mutex
+
+  let rec monitor () =
+    Unix.sleepf 0.02;
+    tick ();
+    monitor ()
+
+  let ensure_started () =
+    if not !started then begin
+      started := true;
+      (* The monitor sleeps forever; process exit tears it down. *)
+      ignore (Domain.spawn monitor : unit Domain.t)
+    end
+
+  let register ctx ~wall_s ~stall_s =
+    let now = Unix.gettimeofday () in
+    let e =
+      {
+        w_ctx = ctx;
+        w_deadline =
+          (match wall_s with Some w -> now +. w | None -> infinity);
+        w_stall_s = (match stall_s with Some s -> s | None -> infinity);
+        w_sig = signal ctx;
+        w_sig_t = now;
+        w_live = true;
+      }
+    in
+    Mutex.lock mutex;
+    entries := e :: !entries;
+    ensure_started ();
+    Mutex.unlock mutex;
+    e
+
+  let unregister e = e.w_live <- false
+end
+
+(* ---------- arming ---------- *)
+
+let arm_current sim =
+  match !(Domain.DLS.get key) with
+  | None -> ()
+  | Some ctx ->
+      let b = ctx.c_budget in
+      let g =
+        {
+          Sim.g_max_events =
+            (match b.max_events with Some n -> n | None -> max_int);
+          g_max_sim_time =
+            (match b.max_sim_time with Some t -> t | None -> infinity);
+          g_poison = ctx.c_poison;
+          g_hb_events = Atomic.make 0;
+          g_hb_sim_us = Atomic.make 0;
+        }
+      in
+      Sim.set_guard sim g;
+      ctx.c_guards <- g :: ctx.c_guards
+
+let arm_runner r = arm_current (Proteus_net.Runner.sim r)
+
+(* ---------- run ---------- *)
+
+let classify ~wall_s exn bt =
+  match exn with
+  | Sim.Interrupted Sim.Event_budget ->
+      Outcome.Budget_exceeded { kind = Outcome.Events }
+  | Sim.Interrupted Sim.Sim_time_budget ->
+      Outcome.Budget_exceeded { kind = Outcome.Sim_time }
+  | Sim.Interrupted Sim.Wall_clock -> Outcome.Timed_out { wall_s }
+  | Sim.Interrupted Sim.No_progress -> Outcome.Stalled { wall_s }
+  | Proteus_net.Audit.Violation msg -> Outcome.Audit_violation msg
+  | _ -> Outcome.Crashed { exn; backtrace = bt }
+
+let run ?(budget = no_budget) task =
+  let ctx = { c_budget = budget; c_poison = Atomic.make 0; c_guards = [] } in
+  let slot = Domain.DLS.get key in
+  let prev = !slot in
+  slot := Some ctx;
+  let wd =
+    if budget.wall_s <> None || budget.stall_s <> None then
+      Some
+        (Watchdog.register ctx ~wall_s:budget.wall_s ~stall_s:budget.stall_s)
+    else None
+  in
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    Option.iter Watchdog.unregister wd;
+    slot := prev
+  in
+  match task () with
+  | v ->
+      finish ();
+      Outcome.Completed v
+  | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      classify ~wall_s:(Unix.gettimeofday () -. t0) exn bt

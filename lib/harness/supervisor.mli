@@ -1,0 +1,68 @@
+(** Supervised execution of one simulation run.
+
+    {!run} executes a thunk and maps every way it can end onto an
+    {!Outcome.t}: normal return, crash (with backtrace), auditor
+    violation, kernel budget exhaustion, wall-clock timeout or stall.
+    Budgets are enforced two ways:
+
+    - {e kernel budgets} (max fired events, max sim-time) are installed
+      as a {!Proteus_eventsim.Sim.guard} on every sim the task arms and
+      checked synchronously by the event loop;
+    - {e wall-clock and stall budgets} are enforced by a single shared
+      monitor domain (the watchdog) that reads the armed sims' progress
+      heartbeats (events fired, sim-time advanced) every few
+      milliseconds and poisons the guard when the deadline passes or
+      sim-time stops advancing for the whole stall window. The event
+      loop notices the poison within 256 events and raises, so a
+      livelocked run is reported as [Stalled] instead of hanging the
+      sweep.
+
+    Arming is cooperative: the supervised task calls {!arm_current} (or
+    {!arm_runner}) on each sim it creates. Tasks that never arm are
+    still classified on crash/audit, but cannot be interrupted — OCaml
+    has no safe asynchronous kill, so a non-cooperating infinite loop
+    outside the event kernel is out of scope.
+
+    Supervision is reentrant per domain (contexts nest and restore) and
+    safe under {!Proteus_parallel.Pool} fan-out: the context lives in
+    domain-local storage, and each task's [run] call scopes it for
+    exactly that task. With no wall/stall budget the watchdog is never
+    engaged and a supervised run is deterministic: same seed, same
+    result, byte-identical to an unsupervised one. *)
+
+type budget = {
+  max_events : int option;  (** kernel fired-event budget, per sim *)
+  max_sim_time : float option;  (** kernel virtual-clock budget, seconds *)
+  wall_s : float option;  (** watchdog wall-clock budget, seconds *)
+  stall_s : float option;
+      (** watchdog stall window: poison when no armed sim advances its
+          virtual clock for this many wall seconds *)
+}
+
+val no_budget : budget
+(** All limits off ([None] everywhere). *)
+
+val budget :
+  ?max_events:int ->
+  ?max_sim_time:float ->
+  ?wall_s:float ->
+  ?stall_s:float ->
+  unit ->
+  budget
+
+val scale_wall : budget -> float -> budget
+(** Multiply the wall-clock and stall windows by the given factor
+    (retry escalation); kernel budgets are left untouched. *)
+
+val run : ?budget:budget -> (unit -> 'a) -> 'a Outcome.t
+(** Execute the thunk under this domain's supervision context. Never
+    raises (even [Stack_overflow] and friends are classified as
+    [Crashed]); the outcome tells the caller what happened. *)
+
+val arm_current : Proteus_eventsim.Sim.t -> unit
+(** Install the enclosing {!run}'s budgets on a sim and register it
+    with the watchdog. No-op outside a supervised context, so library
+    code can arm unconditionally. *)
+
+val arm_runner : Proteus_net.Runner.t -> unit
+(** [arm_current (Runner.sim r)]. *)

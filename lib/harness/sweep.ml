@@ -1,0 +1,213 @@
+(* Resilient sweep driver (see sweep.mli). *)
+
+module Sim = Proteus_eventsim.Sim
+
+type inject = Crash | Stall | Audit_bomb
+
+let inject_of_string = function
+  | "crash" -> Some Crash
+  | "stall" -> Some Stall
+  | "audit" -> Some Audit_bomb
+  | _ -> None
+
+type config = {
+  budget : Supervisor.budget;
+  retries : int;
+  escalation : float;
+  escalation_cap : float;
+  journal : string option;
+  resume : bool;
+  params : string;
+  injections : (string * inject) list;
+}
+
+let default =
+  {
+    budget = Supervisor.no_budget;
+    retries = 0;
+    escalation = 2.0;
+    escalation_cap = 8.0;
+    journal = None;
+    resume = false;
+    params = "";
+    injections = [];
+  }
+
+type failure = {
+  f_run : string;
+  f_outcome : string;
+  f_detail : string;
+  f_attempts : int;
+}
+
+type 'b row = {
+  r_run : string;
+  r_value : 'b option;
+  r_failure : failure option;
+  r_resumed : bool;
+}
+
+type summary = {
+  completed : int;
+  failed : int;
+  quarantined : int;
+  resumed : int;
+}
+
+let summarize ~retries rows =
+  List.fold_left
+    (fun s r ->
+      let resumed = (s.resumed + if r.r_resumed then 1 else 0) in
+      match r.r_failure with
+      | None -> { s with completed = s.completed + 1; resumed }
+      | Some f ->
+          {
+            s with
+            failed = s.failed + 1;
+            quarantined =
+              (s.quarantined + if f.f_attempts > retries then 1 else 0);
+            resumed;
+          })
+    { completed = 0; failed = 0; quarantined = 0; resumed = 0 }
+    rows
+
+(* ---------- fault injection ---------- *)
+
+(* An injected stall must look like the real thing: an armed sim whose
+   event loop keeps firing zero-delay events without ever advancing the
+   virtual clock, exactly what a scheduling livelock produces. When the
+   sweep has no budget that could interrupt it, a forced event budget
+   keeps even an unsupervised chaos test from wedging the pool. *)
+let stall_forever () =
+  let sim = Sim.create () in
+  Supervisor.arm_current sim;
+  let rec loop () = Sim.after sim ~delay:0.0 loop in
+  loop ();
+  Sim.run sim;
+  assert false
+
+let interruptible (b : Supervisor.budget) =
+  b.max_events <> None || b.max_sim_time <> None || b.wall_s <> None
+  || b.stall_s <> None
+
+let run_injected rid = function
+  | Crash -> failwith ("injected crash: " ^ rid)
+  | Audit_bomb ->
+      raise (Proteus_net.Audit.Violation ("injected audit violation: " ^ rid))
+  | Stall -> stall_forever ()
+
+let execute inj ~rid f k =
+  match inj with None -> f k | Some i -> run_injected rid i
+
+(* ---------- the map ---------- *)
+
+let map cfg ~pool_map ~run_id ~seed_of ~encode ~decode f keys =
+  let journaled : (string, Journal.entry) Hashtbl.t =
+    match cfg.journal with
+    | Some path when cfg.resume ->
+        let tbl = Journal.load ~path in
+        (* Drop entries that cannot be trusted: a different sweep
+           configuration, or a payload whose digest no longer matches
+           (torn lines never parse, but belt and braces). *)
+        Hashtbl.iter
+          (fun run (e : Journal.entry) ->
+            if
+              e.params <> cfg.params
+              || e.outcome = "completed"
+                 && e.digest <> Digest.to_hex (Digest.string e.payload)
+            then Hashtbl.remove tbl run)
+          (Hashtbl.copy tbl);
+        tbl
+    | _ -> Hashtbl.create 1
+  in
+  let writer =
+    Option.map
+      (fun path -> Journal.open_writer ~path ~append:cfg.resume)
+      cfg.journal
+  in
+  let record rid seed attempts outcome detail payload =
+    Option.iter
+      (fun w ->
+        Journal.append w
+          {
+            Journal.run = rid;
+            seed;
+            params = cfg.params;
+            attempts;
+            outcome;
+            detail;
+            digest =
+              (if payload = "" then ""
+               else Digest.to_hex (Digest.string payload));
+            payload;
+          })
+      writer
+  in
+  let one k =
+    let rid = run_id k in
+    match Hashtbl.find_opt journaled rid with
+    | Some e when e.outcome = "completed" ->
+        {
+          r_run = rid;
+          r_value = Some (decode e.payload);
+          r_failure = None;
+          r_resumed = true;
+        }
+    | Some e ->
+        (* Quarantined on a previous pass: don't burn budget on it
+           again, surface the journaled verdict. *)
+        {
+          r_run = rid;
+          r_value = None;
+          r_failure =
+            Some
+              {
+                f_run = rid;
+                f_outcome = e.outcome;
+                f_detail = e.detail;
+                f_attempts = e.attempts;
+              };
+          r_resumed = true;
+        }
+    | None ->
+        let inj = List.assoc_opt rid cfg.injections in
+        let rec attempt n =
+          let factor =
+            Float.min (cfg.escalation ** float_of_int (n - 1))
+              cfg.escalation_cap
+          in
+          let b = Supervisor.scale_wall cfg.budget factor in
+          let b =
+            match inj with
+            | Some Stall when not (interruptible b) ->
+                { b with Supervisor.max_events = Some 10_000_000 }
+            | _ -> b
+          in
+          match Supervisor.run ~budget:b (fun () -> execute inj ~rid f k) with
+          | Outcome.Completed v ->
+              record rid (seed_of k) n "completed" "" (encode v);
+              { r_run = rid; r_value = Some v; r_failure = None;
+                r_resumed = false }
+          | _ when n <= cfg.retries -> attempt (n + 1)
+          | o ->
+              let outcome = Outcome.label o and detail = Outcome.detail o in
+              record rid (seed_of k) n outcome detail "";
+              {
+                r_run = rid;
+                r_value = None;
+                r_failure =
+                  Some
+                    {
+                      f_run = rid;
+                      f_outcome = outcome;
+                      f_detail = detail;
+                      f_attempts = n;
+                    };
+                r_resumed = false;
+              }
+        in
+        attempt 1
+  in
+  let rows = pool_map one keys in
+  Option.iter Journal.close writer;
+  rows

@@ -1,0 +1,83 @@
+(** Resilient sweep driver: fan a grid of runs out over a pool map,
+    supervise each one, retry with escalating budgets, quarantine runs
+    that keep failing, journal completions for [--resume], and return
+    per-run rows instead of letting one bad parameter point sink the
+    grid. *)
+
+(** Deterministic fault injection for chaos tests: matched by run id.
+    [Crash] raises at task start; [Audit_bomb] raises
+    [Audit.Violation]; [Stall] spins an armed zero-delay event loop so
+    the stall watchdog (or, as a safety net when no interrupting budget
+    is configured, a forced event budget) has something real to kill. *)
+type inject = Crash | Stall | Audit_bomb
+
+val inject_of_string : string -> inject option
+(** ["crash"] / ["stall"] / ["audit"]. *)
+
+val run_injected : string -> inject -> 'a
+(** Execute an injected fault in place of the real run: raises for
+    [Crash] / [Audit_bomb], spins an armed zero-delay event loop for
+    [Stall]. Never returns. Exposed for experiments that supervise a
+    single monolithic run outside {!map}. *)
+
+type config = {
+  budget : Supervisor.budget;  (** base per-attempt budget *)
+  retries : int;  (** extra attempts after the first failure *)
+  escalation : float;
+      (** wall/stall budget multiplier per retry (attempt [n] gets
+          [escalation^(n-1)]x, capped) — a run that timed out under
+          load gets more room before being written off *)
+  escalation_cap : float;
+  journal : string option;  (** JSONL checkpoint path *)
+  resume : bool;  (** skip runs already journaled under [params] *)
+  params : string;  (** {!Journal.params_hash} of the sweep config *)
+  injections : (string * inject) list;  (** run id -> injected fault *)
+}
+
+val default : config
+(** No budgets, no retries, no journal, no injections;
+    [escalation = 2.0] capped at [8.0]. *)
+
+type failure = {
+  f_run : string;
+  f_outcome : string;  (** {!Outcome.label} of the final attempt *)
+  f_detail : string;
+  f_attempts : int;
+}
+
+type 'b row = {
+  r_run : string;
+  r_value : 'b option;  (** [Some] iff the run completed *)
+  r_failure : failure option;
+  r_resumed : bool;  (** satisfied from the journal, not re-simulated *)
+}
+
+type summary = {
+  completed : int;
+  failed : int;
+  quarantined : int;
+      (** failures that exhausted the full retry budget ([f_attempts >
+          retries]) — the runs a resume will skip without re-trying *)
+  resumed : int;
+}
+
+val summarize : retries:int -> _ row list -> summary
+
+val map :
+  config ->
+  pool_map:(('k -> 'b row) -> 'k list -> 'b row list) ->
+  run_id:('k -> string) ->
+  seed_of:('k -> int) ->
+  encode:('b -> string) ->
+  decode:(string -> 'b) ->
+  ('k -> 'b) ->
+  'k list ->
+  'b row list
+(** Supervised, journaled, order-preserving map. [pool_map] supplies
+    the fan-out (e.g. a {!Proteus_parallel.Pool} map — task failures
+    are already absorbed into rows, so it only ever sees returning
+    functions). [encode]/[decode] must round-trip byte-exactly (use
+    [%h] for floats): a resumed run's decoded value feeds the same
+    aggregation as a fresh one, which is what makes resume
+    byte-identical. Runs are journaled as they complete, in completion
+    order; rows come back in input order regardless. *)

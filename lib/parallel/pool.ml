@@ -51,27 +51,57 @@ let create ~jobs =
     t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
-let map t f items =
+type failure = {
+  index : int;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+exception Map_errors of failure list
+
+let () =
+  Printexc.register_printer (function
+    | Map_errors fs ->
+        Some
+          (Printf.sprintf "Pool.Map_errors [%s]"
+             (String.concat "; "
+                (List.map
+                   (fun f ->
+                     Printf.sprintf "item %d: %s" f.index
+                       (Printexc.to_string f.exn))
+                   fs)))
+    | _ -> None)
+
+(* Every item runs to completion (worker domains catch task exceptions,
+   so one failure never kills a worker or starves the rest of the
+   batch); per-item outcomes are collected positionally. *)
+let map_results t f items =
   match items with
   | [] -> []
-  | [ x ] -> [ f x ]
-  | _ when t.jobs <= 1 -> List.map f items
+  | _ when t.jobs <= 1 || List.compare_length_with items 1 = 0 ->
+      List.mapi
+        (fun i x ->
+          match f x with
+          | v -> Ok v
+          | exception exn ->
+              Error { index = i; exn; backtrace = Printexc.get_raw_backtrace () })
+        items
   | _ ->
       let arr = Array.of_list items in
       let n = Array.length arr in
       let results = Array.make n None in
       let remaining = ref n in
-      let error = ref None in
       (* Each thunk runs its job, then decrements the batch counter
          under the mutex; the mutex hand-off is also what publishes the
          result writes to the thread collecting them. *)
       let task i () =
-        (match f arr.(i) with
-        | v -> results.(i) <- Some v
-        | exception e ->
-            Mutex.lock t.mutex;
-            if !error = None then error := Some e;
-            Mutex.unlock t.mutex);
+        let r =
+          match f arr.(i) with
+          | v -> Ok v
+          | exception exn ->
+              Error { index = i; exn; backtrace = Printexc.get_raw_backtrace () }
+        in
+        results.(i) <- Some r;
         Mutex.lock t.mutex;
         decr remaining;
         if !remaining = 0 then Condition.broadcast t.batch_done;
@@ -91,9 +121,21 @@ let map t f items =
         | None -> Condition.wait t.batch_done t.mutex
       done;
       Mutex.unlock t.mutex;
-      (match !error with Some e -> raise e | None -> ());
       Array.to_list
         (Array.map (function Some v -> v | None -> assert false) results)
+
+let map t f items =
+  let results = map_results t f items in
+  let failures =
+    List.filter_map (function Error e -> Some e | Ok _ -> None) results
+  in
+  match failures with
+  | [] -> List.map (function Ok v -> v | Error _ -> assert false) results
+  | first :: _ ->
+      (* All failures, in item order, with the first one's original
+         backtrace attached to the raise — so the trace still points at
+         the task code that blew up. *)
+      Printexc.raise_with_backtrace (Map_errors failures) first.backtrace
 
 let shutdown t =
   Mutex.lock t.mutex;

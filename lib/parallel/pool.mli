@@ -21,10 +21,28 @@ val jobs : t -> int
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+type failure = {
+  index : int;  (** position of the failing item in the input list *)
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;  (** captured at the raise point *)
+}
+
+exception Map_errors of failure list
+(** Every failure of a {!map} batch, in item order (never empty). *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
-(** Order-preserving parallel map. If any job raises, the first
-    exception (in completion order) is re-raised after every job of the
-    batch has finished. *)
+(** Order-preserving parallel map. Every item runs to completion even
+    when siblings fail — a task exception never kills a worker domain
+    or abandons queued items. If any job raised, {!Map_errors} carrying
+    {e all} failures (with indices and backtraces) is raised via
+    [Printexc.raise_with_backtrace] with the first failure's original
+    backtrace, after the whole batch has finished. *)
+
+val map_results : t -> ('a -> 'b) -> 'a list -> ('b, failure) result list
+(** Like {!map} but returns per-item outcomes instead of raising: the
+    fallible boundary used by supervised sweeps. Order-preserving;
+    jobs <= 1 degenerates to a sequential left-to-right loop (which
+    still runs every item). *)
 
 val shutdown : t -> unit
 (** Wait for queued jobs to drain, then join all worker domains.

@@ -1,0 +1,409 @@
+(* Supervised-execution harness: outcome classification, budgets and
+   watchdog, journal round-trips, sweep retry/quarantine and resume. *)
+
+module Sim = Proteus_eventsim.Sim
+module Outcome = Proteus_harness.Outcome
+module Supervisor = Proteus_harness.Supervisor
+module Journal = Proteus_harness.Journal
+module Sweep = Proteus_harness.Sweep
+module Pool = Proteus_parallel.Pool
+
+let label o = Outcome.label o
+
+(* ---------- outcome classification ---------- *)
+
+let test_completed () =
+  match Supervisor.run (fun () -> 42) with
+  | Outcome.Completed v -> Alcotest.(check int) "value" 42 v
+  | o -> Alcotest.failf "expected completed, got %s" (label o)
+
+let test_crashed () =
+  match Supervisor.run (fun () -> failwith "boom") with
+  | Outcome.Crashed { exn = Failure m; _ } ->
+      Alcotest.(check string) "message" "boom" m
+  | o -> Alcotest.failf "expected crashed, got %s" (label o)
+
+let test_audit_violation () =
+  match
+    Supervisor.run (fun () -> raise (Proteus_net.Audit.Violation "bad packet"))
+  with
+  | Outcome.Audit_violation m ->
+      Alcotest.(check string) "message" "bad packet" m
+  | o -> Alcotest.failf "expected audit-violation, got %s" (label o)
+
+(* An armed sim rescheduling itself forever: sim-time advances by
+   [delay] per event (0.0 = the livelock shape). *)
+let spin ~delay () =
+  let sim = Sim.create () in
+  Supervisor.arm_current sim;
+  let rec loop () = Sim.after sim ~delay loop in
+  loop ();
+  Sim.run sim
+
+let test_event_budget () =
+  let budget = Supervisor.budget ~max_events:1_000 () in
+  match Supervisor.run ~budget (spin ~delay:1e-6) with
+  | Outcome.Budget_exceeded { kind = Outcome.Events } -> ()
+  | o -> Alcotest.failf "expected budget-events, got %s" (label o)
+
+let test_sim_time_budget () =
+  let budget = Supervisor.budget ~max_sim_time:0.5 () in
+  match Supervisor.run ~budget (spin ~delay:0.01) with
+  | Outcome.Budget_exceeded { kind = Outcome.Sim_time } -> ()
+  | o -> Alcotest.failf "expected budget-sim-time, got %s" (label o)
+
+let test_timed_out () =
+  (* Sim-time keeps advancing, so only the wall deadline can fire. *)
+  let budget = Supervisor.budget ~wall_s:0.05 () in
+  match Supervisor.run ~budget (spin ~delay:1e-6) with
+  | Outcome.Timed_out _ -> ()
+  | o -> Alcotest.failf "expected timed-out, got %s" (label o)
+
+let test_stalled () =
+  (* Zero-delay livelock: events fire but sim-time never moves, which
+     must register as a stall, not as progress. *)
+  let budget = Supervisor.budget ~stall_s:0.1 ~wall_s:30.0 () in
+  match Supervisor.run ~budget (spin ~delay:0.0) with
+  | Outcome.Stalled _ -> ()
+  | o -> Alcotest.failf "expected stalled, got %s" (label o)
+
+let test_nested_runs () =
+  (* An inner supervised crash is contained; the outer run completes,
+     and its own budget context is restored after the inner one. *)
+  let outcome =
+    Supervisor.run (fun () ->
+        let inner = Supervisor.run (fun () -> failwith "inner") in
+        Alcotest.(check string) "inner crashed" "crashed" (label inner);
+        "outer-ok")
+  in
+  match outcome with
+  | Outcome.Completed v -> Alcotest.(check string) "outer" "outer-ok" v
+  | o -> Alcotest.failf "expected completed, got %s" (label o)
+
+let test_arm_outside_context () =
+  (* Arming outside a supervised run is a no-op, not an error. *)
+  let sim = Sim.create () in
+  Supervisor.arm_current sim;
+  let fired = ref false in
+  Sim.after sim ~delay:0.1 (fun () -> fired := true);
+  Sim.run sim;
+  Alcotest.(check bool) "ran normally" true !fired
+
+(* ---------- journal ---------- *)
+
+let entry =
+  {
+    Journal.run = "outage/cubic/t0";
+    seed = 123_456;
+    params = "deadbeef";
+    attempts = 2;
+    outcome = "crashed";
+    detail = "Failure(\"quote \\\" slash \\\\ newline \n tab \t end\")";
+    digest = "";
+    payload = "0x1.91eb851eb851fp+4 0x0p+0 - 0x1p-1 0x0p+0 42";
+  }
+
+let test_journal_roundtrip () =
+  match Journal.parse_line (Journal.line entry) with
+  | None -> Alcotest.fail "round-trip failed to parse"
+  | Some e ->
+      Alcotest.(check string) "run" entry.Journal.run e.Journal.run;
+      Alcotest.(check int) "seed" entry.Journal.seed e.Journal.seed;
+      Alcotest.(check int) "attempts" entry.Journal.attempts e.Journal.attempts;
+      Alcotest.(check string) "detail" entry.Journal.detail e.Journal.detail;
+      Alcotest.(check string) "payload" entry.Journal.payload e.Journal.payload
+
+let test_journal_rejects_torn () =
+  let line = Journal.line entry in
+  (* Every strict prefix of a valid line is unparseable (a torn write),
+     and trailing garbage is rejected too. *)
+  for len = 0 to String.length line - 1 do
+    match Journal.parse_line (String.sub line 0 len) with
+    | Some _ -> Alcotest.failf "parsed a torn prefix of length %d" len
+    | None -> ()
+  done;
+  match Journal.parse_line (line ^ "garbage") with
+  | Some _ -> Alcotest.fail "parsed trailing garbage"
+  | None -> ()
+
+let test_journal_load_supersedes () =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  let w = Journal.open_writer ~path ~append:false in
+  Journal.append w entry;
+  Journal.append w { entry with Journal.outcome = "completed"; attempts = 3 };
+  Journal.close w;
+  (* A non-JSON line and a torn last line on top of the valid entries:
+     both must be skipped, not fatal. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "not json at all\n{\"run\":\"half";
+  close_out oc;
+  let tbl = Journal.load ~path in
+  Alcotest.(check int) "one run" 1 (Hashtbl.length tbl);
+  let e = Hashtbl.find tbl entry.Journal.run in
+  Alcotest.(check string) "later wins" "completed" e.Journal.outcome;
+  Alcotest.(check int) "later attempts" 3 e.Journal.attempts;
+  Sys.remove path
+
+let test_params_hash_distinguishes () =
+  let a = Journal.params_hash [ "faults"; "fast"; "heap" ] in
+  let b = Journal.params_hash [ "faults"; "fast"; "wheel" ] in
+  let c = Journal.params_hash [ "faults"; "fastheap" ] in
+  Alcotest.(check bool) "kernel changes hash" true (a <> b);
+  Alcotest.(check bool) "no concat aliasing" true (a <> c)
+
+(* ---------- sweep: retry, quarantine, injection ---------- *)
+
+let seq_map f xs = List.map f xs
+
+let test_sweep_retry_quarantine () =
+  let calls = Hashtbl.create 8 in
+  let count k = Hashtbl.replace calls k (1 + try Hashtbl.find calls k with Not_found -> 0) in
+  let cfg = { Sweep.default with retries = 2 } in
+  let rows =
+    Sweep.map cfg ~pool_map:seq_map
+      ~run_id:(fun k -> k)
+      ~seed_of:(fun _ -> 1)
+      ~encode:string_of_int ~decode:int_of_string
+      (fun k ->
+        count k;
+        if k = "bad" then failwith "always fails" else String.length k)
+      [ "ok"; "bad"; "fine" ]
+  in
+  let by_id id = List.find (fun r -> r.Sweep.r_run = id) rows in
+  Alcotest.(check (option int)) "ok value" (Some 2) (by_id "ok").Sweep.r_value;
+  Alcotest.(check (option int))
+    "fine value" (Some 4)
+    (by_id "fine").Sweep.r_value;
+  (match (by_id "bad").Sweep.r_failure with
+  | Some f ->
+      Alcotest.(check string) "outcome" "crashed" f.Sweep.f_outcome;
+      Alcotest.(check int) "exhausted all attempts" 3 f.Sweep.f_attempts
+  | None -> Alcotest.fail "bad should have failed");
+  Alcotest.(check int) "bad ran 3 times" 3 (Hashtbl.find calls "bad");
+  Alcotest.(check int) "ok ran once" 1 (Hashtbl.find calls "ok");
+  let s = Sweep.summarize ~retries:2 rows in
+  Alcotest.(check int) "completed" 2 s.Sweep.completed;
+  Alcotest.(check int) "failed" 1 s.Sweep.failed;
+  Alcotest.(check int) "quarantined" 1 s.Sweep.quarantined;
+  Alcotest.(check int) "resumed" 0 s.Sweep.resumed
+
+let test_sweep_injection () =
+  let cfg =
+    {
+      Sweep.default with
+      injections =
+        [ ("a", Sweep.Crash); ("b", Sweep.Audit_bomb); ("c", Sweep.Stall) ];
+    }
+  in
+  let rows =
+    Sweep.map cfg ~pool_map:seq_map
+      ~run_id:(fun k -> k)
+      ~seed_of:(fun _ -> 1)
+      ~encode:string_of_int ~decode:int_of_string
+      (fun _ -> 7)
+      [ "a"; "b"; "c"; "d" ]
+  in
+  let outcome_of id =
+    match (List.find (fun r -> r.Sweep.r_run = id) rows).Sweep.r_failure with
+    | Some f -> f.Sweep.f_outcome
+    | None -> "completed"
+  in
+  Alcotest.(check string) "crash" "crashed" (outcome_of "a");
+  Alcotest.(check string) "audit" "audit-violation" (outcome_of "b");
+  (* No interrupting budget is configured, so the injected stall is cut
+     by the forced event budget rather than wedging the test. *)
+  Alcotest.(check string) "stall" "budget-events" (outcome_of "c");
+  Alcotest.(check string) "untouched" "completed" (outcome_of "d")
+
+(* ---------- sweep: journal resume ---------- *)
+
+let resume_keys = [ 3; 1; 4; 1; 5; 9; 2; 6 ]
+
+let resume_cfg path =
+  {
+    Sweep.default with
+    journal = Some path;
+    params = Journal.params_hash [ "resume-test"; "v1" ];
+  }
+
+let run_resume_sweep ~resume ~path ~calls =
+  Sweep.map
+    { (resume_cfg path) with resume }
+    ~pool_map:seq_map
+    ~run_id:(fun k -> Printf.sprintf "run/%d" k)
+    ~seed_of:(fun k -> k)
+    ~encode:(fun v -> Printf.sprintf "%h" v)
+    ~decode:float_of_string
+    (fun k ->
+      incr calls;
+      sqrt (float_of_int k) *. 0.1)
+    (List.mapi (fun i k -> (i * 100) + k) resume_keys)
+
+let test_sweep_resume_byte_parity () =
+  let path = Filename.temp_file "sweep" ".jsonl" in
+  let calls = ref 0 in
+  let fresh = run_resume_sweep ~resume:false ~path ~calls in
+  let fresh_calls = !calls in
+  Alcotest.(check int) "all ran" (List.length resume_keys) fresh_calls;
+  (* Truncate to half the entries plus a torn line: the resumed sweep
+     re-runs exactly the missing half and decodes the rest, with
+     byte-identical values. *)
+  let lines = ref [] in
+  let ic = open_in path in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let all = List.rev !lines in
+  let keep = List.filteri (fun i _ -> i < 4) all in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+  output_string oc "{\"run\":\"run/5";
+  close_out oc;
+  calls := 0;
+  let resumed = run_resume_sweep ~resume:true ~path ~calls in
+  Alcotest.(check int) "only the missing half re-ran" 4 !calls;
+  List.iter2
+    (fun (a : float Sweep.row) (b : float Sweep.row) ->
+      Alcotest.(check string) "same run" a.Sweep.r_run b.Sweep.r_run;
+      match (a.Sweep.r_value, b.Sweep.r_value) with
+      | Some va, Some vb ->
+          (* Bit-exact equality: %h must round-trip perfectly. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s bit-identical" a.Sweep.r_run)
+            true
+            (Int64.equal (Int64.bits_of_float va) (Int64.bits_of_float vb))
+      | _ -> Alcotest.failf "%s missing a value" a.Sweep.r_run)
+    fresh resumed;
+  let s = Sweep.summarize ~retries:0 resumed in
+  Alcotest.(check int) "resumed count" 4 s.Sweep.resumed;
+  Sys.remove path
+
+let test_sweep_resume_params_guard () =
+  (* A journal written under different sweep parameters must be
+     ignored: every run re-executes. *)
+  let path = Filename.temp_file "sweep" ".jsonl" in
+  let calls = ref 0 in
+  ignore (run_resume_sweep ~resume:false ~path ~calls);
+  let other =
+    {
+      (resume_cfg path) with
+      resume = true;
+      params = Journal.params_hash [ "resume-test"; "v2" ];
+    }
+  in
+  calls := 0;
+  let rows =
+    Sweep.map other ~pool_map:seq_map
+      ~run_id:(fun k -> Printf.sprintf "run/%d" k)
+      ~seed_of:(fun k -> k)
+      ~encode:(fun v -> Printf.sprintf "%h" v)
+      ~decode:float_of_string
+      (fun k ->
+        incr calls;
+        float_of_int k)
+      (List.mapi (fun i k -> (i * 100) + k) resume_keys)
+  in
+  Alcotest.(check int) "all re-ran" (List.length resume_keys) !calls;
+  Alcotest.(check int)
+    "none resumed" 0
+    (Sweep.summarize ~retries:0 rows).Sweep.resumed;
+  Sys.remove path
+
+let test_sweep_resume_skips_quarantined () =
+  (* A journaled failure is not re-tried on resume; it is surfaced. *)
+  let path = Filename.temp_file "sweep" ".jsonl" in
+  let cfg = resume_cfg path in
+  let run ~resume ~calls =
+    Sweep.map { cfg with resume } ~pool_map:seq_map
+      ~run_id:(fun k -> k)
+      ~seed_of:(fun _ -> 1)
+      ~encode:string_of_int ~decode:int_of_string
+      (fun k ->
+        incr calls;
+        if k = "bad" then failwith "still bad" else 1)
+      [ "good"; "bad" ]
+  in
+  let calls = ref 0 in
+  ignore (run ~resume:false ~calls);
+  calls := 0;
+  let rows = run ~resume:true ~calls in
+  Alcotest.(check int) "nothing re-ran" 0 !calls;
+  match (List.find (fun r -> r.Sweep.r_run = "bad") rows).Sweep.r_failure with
+  | Some f ->
+      Alcotest.(check string) "journaled outcome" "crashed" f.Sweep.f_outcome;
+      Alcotest.(check bool)
+        "marked resumed" true
+        (List.find (fun r -> r.Sweep.r_run = "bad") rows).Sweep.r_resumed;
+      Sys.remove path
+  | None -> Alcotest.fail "quarantined run lost its failure"
+
+(* ---------- sweep over a real pool ---------- *)
+
+let test_sweep_on_pool () =
+  (* Supervision context is domain-local: fan the sweep over real
+     worker domains, with failures mixed in, and check both results
+     and ordering survive. *)
+  let pool = Pool.create ~jobs:3 in
+  let cfg = { Sweep.default with injections = [ ("k8", Sweep.Crash) ] } in
+  let keys = List.init 24 (fun i -> i) in
+  let rows =
+    Sweep.map cfg
+      ~pool_map:(fun f xs -> Pool.map pool f xs)
+      ~run_id:(fun k -> Printf.sprintf "k%d" k)
+      ~seed_of:(fun k -> k)
+      ~encode:string_of_int ~decode:int_of_string
+      (fun k -> if k mod 7 = 3 then failwith "unlucky" else k * k)
+      keys
+  in
+  Pool.shutdown pool;
+  List.iteri
+    (fun i (r : int Sweep.row) ->
+      Alcotest.(check string)
+        "order preserved"
+        (Printf.sprintf "k%d" i)
+        r.Sweep.r_run;
+      if i = 8 || i mod 7 = 3 then
+        Alcotest.(check bool)
+          (Printf.sprintf "k%d failed" i)
+          true
+          (r.Sweep.r_failure <> None)
+      else
+        Alcotest.(check (option int))
+          (Printf.sprintf "k%d value" i)
+          (Some (i * i))
+          r.Sweep.r_value)
+    rows
+
+let suite =
+  [
+    Alcotest.test_case "outcome: completed" `Quick test_completed;
+    Alcotest.test_case "outcome: crashed" `Quick test_crashed;
+    Alcotest.test_case "outcome: audit violation" `Quick test_audit_violation;
+    Alcotest.test_case "outcome: event budget" `Quick test_event_budget;
+    Alcotest.test_case "outcome: sim-time budget" `Quick test_sim_time_budget;
+    Alcotest.test_case "outcome: timed out" `Quick test_timed_out;
+    Alcotest.test_case "outcome: stalled livelock" `Quick test_stalled;
+    Alcotest.test_case "nested supervised runs" `Quick test_nested_runs;
+    Alcotest.test_case "arm outside context" `Quick test_arm_outside_context;
+    Alcotest.test_case "journal round-trip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal rejects torn lines" `Quick
+      test_journal_rejects_torn;
+    Alcotest.test_case "journal load supersedes" `Quick
+      test_journal_load_supersedes;
+    Alcotest.test_case "params hash distinguishes" `Quick
+      test_params_hash_distinguishes;
+    Alcotest.test_case "sweep retry and quarantine" `Quick
+      test_sweep_retry_quarantine;
+    Alcotest.test_case "sweep fault injection" `Quick test_sweep_injection;
+    Alcotest.test_case "sweep resume byte parity" `Quick
+      test_sweep_resume_byte_parity;
+    Alcotest.test_case "sweep resume params guard" `Quick
+      test_sweep_resume_params_guard;
+    Alcotest.test_case "sweep resume skips quarantined" `Quick
+      test_sweep_resume_skips_quarantined;
+    Alcotest.test_case "sweep over pool with failures" `Quick
+      test_sweep_on_pool;
+  ]

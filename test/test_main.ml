@@ -21,6 +21,7 @@ let () =
       ("controller-unit", Test_controller_unit.suite);
       ("timing", Test_timing.suite);
       ("parallel", Test_parallel.suite);
+      ("harness", Test_harness.suite);
       ("video", Test_video.suite);
       ("web", Test_web.suite);
       ("fluid", Test_fluid.suite);

@@ -50,8 +50,102 @@ let test_exception_propagates () =
   with_pool ~jobs:2 (fun p ->
       match Pool.map p (fun x -> if x = 3 then raise Boom else x) [ 1; 2; 3; 4 ]
       with
-      | _ -> Alcotest.fail "expected Boom"
-      | exception Boom -> ())
+      | _ -> Alcotest.fail "expected Map_errors"
+      | exception Pool.Map_errors [ { Pool.index = 2; exn = Boom; _ } ] -> ()
+      | exception e ->
+          Alcotest.failf "wrong exception: %s" (Printexc.to_string e))
+
+let test_all_failures_collected () =
+  with_pool ~jobs:3 (fun p ->
+      match
+        Pool.map p
+          (fun x -> if x mod 2 = 0 then failwith (string_of_int x) else x)
+          [ 0; 1; 2; 3; 4 ]
+      with
+      | _ -> Alcotest.fail "expected Map_errors"
+      | exception Pool.Map_errors fs ->
+          Alcotest.(check (list int))
+            "indices in item order" [ 0; 2; 4 ]
+            (List.map (fun f -> f.Pool.index) fs);
+          List.iter
+            (fun f ->
+              match f.Pool.exn with
+              | Failure msg ->
+                  Alcotest.(check string)
+                    "message matches item" (string_of_int f.Pool.index) msg
+              | e -> Alcotest.failf "wrong exn: %s" (Printexc.to_string e))
+            fs)
+
+let test_map_results_partial () =
+  with_pool ~jobs:2 (fun p ->
+      let out =
+        Pool.map_results p
+          (fun x -> if x = 1 then raise Boom else 10 * x)
+          [ 0; 1; 2 ]
+      in
+      match out with
+      | [ Ok 0; Error { Pool.index = 1; exn = Boom; _ }; Ok 20 ] -> ()
+      | _ -> Alcotest.fail "unexpected map_results shape")
+
+(* ---------- QCheck: failures never hang, never kill workers ---------- *)
+
+(* A shared pool across every QCheck case: worker survival across
+   failing batches is exactly what the property exercises. *)
+let qcheck_random_failures =
+  QCheck.Test.make ~count:60 ~name:"random throwing subset is deterministic"
+    QCheck.(list_of_size Gen.(0 -- 20) bool)
+    (fun throws ->
+      with_pool ~jobs:3 (fun p ->
+          let items = List.mapi (fun i t -> (i, t)) throws in
+          let f (i, t) = if t then raise Boom else i * 7 in
+          let run () = Pool.map_results p f items in
+          let out1 = run () in
+          (* Deterministic: a second identical batch (on the same,
+             still-alive workers) gives the same per-item outcomes. *)
+          let out2 = run () in
+          let shape =
+            List.map
+              (function Ok v -> `Ok v | Error e -> `Err e.Pool.index)
+          in
+          if shape out1 <> shape out2 then false
+          else
+            List.for_all2
+              (fun (i, t) r ->
+                match r with
+                | Ok v -> (not t) && v = i * 7
+                | Error e -> t && e.Pool.index = i && e.Pool.exn = Boom)
+              items out1
+            (* ...and the pool still runs a clean batch afterwards. *)
+            && Pool.map p (fun x -> x + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ]))
+
+let qcheck_nested_failures =
+  QCheck.Test.make ~count:30 ~name:"nested map under failure"
+    QCheck.(pair (list_of_size Gen.(1 -- 5) bool) small_nat)
+    (fun (inner_throws, salt) ->
+      with_pool ~jobs:2 (fun p ->
+          let outer = [ 0; 1; 2 ] in
+          let out =
+            Pool.map_results p
+              (fun o ->
+                (* Each outer task fans out an inner batch; inner
+                   failures surface as the outer task's Map_errors. *)
+                Pool.map p
+                  (fun (j, t) -> if t && o = 1 then raise Boom else o + j + salt)
+                  (List.mapi (fun j t -> (j, t)) inner_throws))
+              outer
+          in
+          let inner_fails = List.exists (fun t -> t) inner_throws in
+          List.for_all2
+            (fun o r ->
+              match r with
+              | Ok vs ->
+                  ((not inner_fails) || o <> 1)
+                  && List.length vs = List.length inner_throws
+              | Error { Pool.exn = Pool.Map_errors _; _ } ->
+                  inner_fails && o = 1
+              | Error _ -> false)
+            outer out
+          && Pool.map p (fun x -> x) [ 9 ] = [ 9 ]))
 
 (* ---------- determinism regression ---------- *)
 
@@ -103,5 +197,9 @@ let suite =
     ("pool jobs=1 inline", `Quick, test_map_jobs_one_inline);
     ("pool nested map", `Quick, test_nested_map);
     ("pool exception", `Quick, test_exception_propagates);
+    ("pool collects all failures", `Quick, test_all_failures_collected);
+    ("pool map_results partial", `Quick, test_map_results_partial);
+    QCheck_alcotest.to_alcotest qcheck_random_failures;
+    QCheck_alcotest.to_alcotest qcheck_nested_failures;
     ("fixed-seed determinism under par_map", `Quick, test_parallel_determinism);
   ]
