@@ -52,6 +52,7 @@ let experiments : (string * (unit -> unit)) list =
     ("topology-smoke", Exp_topology.smoke);
     ("scale", Exp_scale.run);
     ("scale-smoke", Exp_scale.smoke);
+    ("matrix", Exp_matrix.run);
   ]
 
 let appendix_ids =
@@ -82,7 +83,9 @@ let usage () =
     \                     for S wall seconds (livelock detector)\n\
     \  --event-budget N   per-sim fired-event budget\n\
     \  --inject KIND:RUN_ID  inject a fault into a sweep run\n\
-    \                 (KIND: crash | stall | audit; repeatable)\n"
+    \                 (KIND: crash | stall | audit; repeatable)\n\
+    \  --scenarios DIR  scenario corpus for the matrix experiment\n\
+    \                 (default: scenarios)\n"
 
 let parse_kernel s =
   match s with
@@ -203,9 +206,12 @@ let () =
     | "--inject" :: s :: rest ->
         Exp_common.injections := !Exp_common.injections @ [ parse_inject s ];
         parse acc rest
+    | "--scenarios" :: d :: rest ->
+        Exp_matrix.dir := d;
+        parse acc rest
     | [ ("--trace" | "--metrics" | "--kernel" | "--trials" | "--shards"
         | "--retries" | "--wall-budget" | "--stall-budget" | "--event-budget"
-        | "--inject") ] ->
+        | "--inject" | "--scenarios") ] ->
         Printf.eprintf
           "--trace/--metrics/--kernel/--trials/--shards/--retries/\
            --wall-budget/--stall-budget/--event-budget/--inject expect an \
@@ -243,15 +249,15 @@ let () =
     List.concat_map
       (fun id ->
         match id with
-        (* "all" skips the smoke entries: they are subsets of the full
-           sweeps and exist for the @faults-smoke / @topology-smoke /
-           @scale-smoke aliases. *)
+        (* "all" skips the smoke entries (subsets of the full sweeps,
+           kept for the @*-smoke aliases) and the scenario matrix
+           (thousands of runs; its CI job invokes it explicitly). *)
         | "all" ->
             List.filter_map
               (fun (id, _) ->
                 if
                   id = "faults-smoke" || id = "topology-smoke"
-                  || id = "scale-smoke"
+                  || id = "scale-smoke" || id = "matrix"
                 then None
                 else Some id)
               experiments

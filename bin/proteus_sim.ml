@@ -22,24 +22,11 @@
               proteus-p proteus-s blaster=RATE_MBPS *)
 
 module Net = Proteus_net
+module Scn = Proteus_scenario
 
-let protocol_factory name : (Net.Sender.factory, string) result =
-  match String.lowercase_ascii name with
-  | "cubic" -> Ok (Proteus_cc.Cubic.factory ())
-  | "bbr" -> Ok (Proteus_cc.Bbr.factory ())
-  | "bbr-s" -> Ok (Proteus_cc.Bbr.scavenger_factory ())
-  | "copa" -> Ok (Proteus_cc.Copa.factory ())
-  | "ledbat" | "ledbat-100" -> Ok (Proteus_cc.Ledbat.factory ())
-  | "ledbat-25" ->
-      Ok (Proteus_cc.Ledbat.factory ~params:Proteus_cc.Ledbat.draft_25ms ())
-  | "vivace" -> Ok (Proteus.Presets.vivace ())
-  | "proteus-p" -> Ok (Proteus.Presets.proteus_p ())
-  | "proteus-s" -> Ok (Proteus.Presets.proteus_s ())
-  | s when String.length s > 8 && String.sub s 0 8 = "blaster=" -> (
-      match float_of_string_opt (String.sub s 8 (String.length s - 8)) with
-      | Some rate -> Ok (Proteus_cc.Blaster.factory ~rate_mbps:rate)
-      | None -> Error (Printf.sprintf "bad blaster rate in %S" s))
-  | _ -> Error (Printf.sprintf "unknown protocol %S" name)
+(* One protocol registry for the whole repo: the scenario language and
+   this CLI resolve names through the same table. *)
+let protocol_factory = Scn.Protocols.factory
 
 type route_spec = Forward | Hop of int | Reverse
 
@@ -112,11 +99,145 @@ let parse_topology = function
 
 module Obs = Proteus_obs
 
+(* --scenario FILE: run a declarative scenario spec (see scenarios/
+   and DESIGN.md §5f) instead of command-line flow specs. The link /
+   flow / duration flags are ignored — the file is the scenario — but
+   observability (--trace/--metrics/--manifest/--series), budgets and
+   --seed compose. A gridded scenario runs its first combination. *)
+let run_scenario ~path ~seed:seed_opt ~series ~trace_file ~metrics_file
+    ~manifest_file ~wall_budget ~stall_budget ~event_budget =
+  let fatal e =
+    prerr_endline ("proteus-sim: " ^ e);
+    exit 1
+  in
+  let tmpl =
+    match Scn.Grid.load_file path with Ok t -> t | Error e -> fatal e
+  in
+  let insts =
+    match Scn.Grid.expand tmpl ~trials:1 with Ok l -> l | Error e -> fatal e
+  in
+  let inst = List.hd insts in
+  if List.length insts > 1 then
+    Printf.printf
+      "(scenario expands to %d combinations; running the first: %s)\n"
+      (List.length insts) inst.Scn.Grid.id;
+  let spec = inst.Scn.Grid.spec in
+  let seed = Option.value seed_opt ~default:inst.Scn.Grid.seed in
+  let trace =
+    match trace_file with
+    | Some _ -> Obs.Trace.create ()
+    | None -> Obs.Trace.disabled
+  in
+  let duration = spec.Scn.Spec.duration in
+  let t0 = spec.Scn.Spec.measure_from in
+  let runner, flows = Scn.Build.instantiate ~trace ~seed spec in
+  let outcome =
+    Proteus_harness.Supervisor.run
+      ~budget:
+        {
+          Proteus_harness.Supervisor.max_events = event_budget;
+          max_sim_time = None;
+          wall_s = wall_budget;
+          stall_s = stall_budget;
+        }
+      (fun () ->
+        Proteus_harness.Supervisor.arm_runner runner;
+        Net.Runner.run runner ~until:duration)
+  in
+  Printf.printf "scenario: %s (%s), seed %d, %g s (measuring from %g s)\n\n"
+    spec.Scn.Spec.name inst.Scn.Grid.id seed duration t0;
+  Printf.printf "%-16s %10s %10s %9s %9s %10s\n" "flow" "tput Mbps" "p95 ms"
+    "loss %" "pkts" "done";
+  List.iter
+    (fun (label, flow) ->
+      let st = Net.Runner.stats flow in
+      Printf.printf "%-16s %10.2f %10.1f %9.3f %9d %10s\n" label
+        (Net.Flow_stats.throughput_mbps st ~t0 ~t1:duration)
+        (match Net.Flow_stats.rtt_percentile st ~t0 ~t1:duration ~p:95.0 with
+        | Some r -> Net.Units.sec_to_ms r
+        | None -> nan)
+        (100.0 *. Net.Flow_stats.loss_fraction st)
+        (Net.Flow_stats.packets_sent st)
+        (match Net.Runner.completion_time flow with
+        | Some t -> Printf.sprintf "t=%.1fs" t
+        | None -> if Net.Runner.is_complete flow then "yes" else "-"))
+    flows;
+  let metric_vals = Scn.Build.metric_values spec flows in
+  Printf.printf "\nmetrics:\n";
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-24s %.4f\n" k v)
+    metric_vals;
+  (match series with
+  | Some bin when bin > 0.0 ->
+      Printf.printf "\nthroughput series (Mbps per %.1f s bin):\n" bin;
+      List.iter
+        (fun (label, flow) ->
+          let s =
+            Net.Flow_stats.throughput_series (Net.Runner.stats flow) ~bin
+              ~until:duration
+          in
+          Printf.printf "%-16s" label;
+          Array.iter (fun (_, m) -> Printf.printf "%6.1f" m) s;
+          print_newline ())
+        flows
+  | _ -> ());
+  (match trace_file with
+  | Some path ->
+      Obs.Export.trace_to_file ~path trace;
+      Printf.printf "\n(wrote %s: %d events, %d dropped by wraparound)\n" path
+        (Obs.Trace.length trace) (Obs.Trace.dropped trace)
+  | None -> ());
+  let registry =
+    match (metrics_file, manifest_file) with
+    | None, None -> None
+    | _ ->
+        let reg = Obs.Metrics.create () in
+        Net.Runner.snapshot_metrics runner reg;
+        Some reg
+  in
+  (match (metrics_file, registry) with
+  | Some path, Some reg ->
+      Obs.Export.metrics_to_file ~path reg;
+      Printf.printf "(wrote %s)\n" path
+  | _ -> ());
+  (match manifest_file with
+  | Some mpath ->
+      Obs.Manifest.write ~path:mpath ~run:"proteus-sim" ~seed
+        ~scenario:inst.Scn.Grid.id
+        ~params:
+          [
+            ("scenario_file", path);
+            ("combo", inst.Scn.Grid.combo);
+            ("duration_s", Printf.sprintf "%g" duration);
+            ("measure_from_s", Printf.sprintf "%g" t0);
+            ("outcome", Proteus_harness.Outcome.label outcome);
+          ]
+        ~metrics:metric_vals ?registry ();
+      Printf.printf "(wrote %s)\n" mpath
+  | None -> ());
+  match outcome with
+  | Proteus_harness.Outcome.Completed () -> 0
+  | o ->
+      Printf.eprintf "proteus-sim: run failed: %s (stats above are partial)\n"
+        (Proteus_harness.Outcome.describe o);
+      2
+
 (* Exit codes: 0 = clean run, 2 = the supervised simulation failed
    (crash / audit violation / budget) but was reported, 1 = usage or
    internal error. *)
-let run bw rtt buffer_kb loss noise duration seed series topology trace_file
-    metrics_file manifest_file wall_budget stall_budget event_budget specs =
+let run bw rtt buffer_kb loss noise duration seed_opt series topology
+    scenario_file trace_file metrics_file manifest_file wall_budget
+    stall_budget event_budget specs =
+  match scenario_file with
+  | Some path ->
+      if specs <> [] then begin
+        prerr_endline "proteus-sim: --scenario and flow specs are exclusive";
+        exit 1
+      end;
+      run_scenario ~path ~seed:seed_opt ~series ~trace_file ~metrics_file
+        ~manifest_file ~wall_budget ~stall_budget ~event_budget
+  | None ->
+  let seed = Option.value seed_opt ~default:42 in
   match
     ( List.map parse_flow_spec specs
       |> List.fold_left
@@ -328,7 +449,12 @@ let noise =
 let duration =
   Arg.(value & opt float 60.0 & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
 
-let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+let seed =
+  Arg.(
+    value & opt (some int) None
+    & info [ "seed" ]
+        ~doc:"Random seed (default 42; with --scenario, the default is the \
+              instance's grid-derived seed).")
 
 let series =
   Arg.(
@@ -343,6 +469,15 @@ let topology =
               (N-hop chain; flows default to the end-to-end route, \
               $(b,PROTO%HOP) pins one to a single hop and $(b,PROTO%rev) \
               runs it in the reverse direction).")
+
+let scenario_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "scenario" ] ~docv:"FILE"
+        ~doc:"Run a declarative scenario spec (see scenarios/) instead of \
+              flow specs. Link and flow flags are ignored; \
+              --trace/--metrics/--manifest/--series, budgets and --seed \
+              compose. A gridded scenario runs its first combination.")
 
 let trace_file =
   Arg.(
@@ -396,8 +531,8 @@ let cmd =
     (Cmd.info "proteus-sim" ~doc)
     Term.(
       const run $ bw $ rtt $ buffer_kb $ loss $ noise $ duration $ seed
-      $ series $ topology $ trace_file $ metrics_file $ manifest_file
-      $ wall_budget $ stall_budget $ event_budget $ specs)
+      $ series $ topology $ scenario_file $ trace_file $ metrics_file
+      $ manifest_file $ wall_budget $ stall_budget $ event_budget $ specs)
 
 let () =
   match Cmd.eval' cmd with

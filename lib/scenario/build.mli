@@ -1,0 +1,44 @@
+(** Compile a validated {!Spec.t} onto the packet-level simulator.
+
+    Specs are compiled through the same {!Proteus_net.Topology} /
+    {!Proteus_net.Runner} constructors the hand-written bench
+    experiments use, so a spec-driven run is bit-identical to its
+    hand-written twin given the same seed and kernel. *)
+
+val topology : Spec.t -> Proteus_net.Topology.t
+(** The spec's topology with fluid aggregate classes attached. Raises
+    [Invalid_argument] on parameters the net-layer smart constructors
+    reject ({!Spec.validate} catches these earlier). *)
+
+val instantiate :
+  ?trace:Proteus_obs.Trace.t ->
+  ?kernel:Proteus_eventsim.Sim.kernel ->
+  seed:int ->
+  Spec.t ->
+  Proteus_net.Runner.t * (string * Proteus_net.Runner.flow) list
+(** Build the runner and register every flow — declared flows in
+    declaration order, then the implicit parking-lot [crossN] flows.
+    Returns the flows keyed by label. Raises [Failure] on unknown
+    protocol names and [Invalid_argument] on route/topology mismatches
+    (both caught earlier by {!Spec.validate}). *)
+
+val metric_values :
+  Spec.t -> (string * Proteus_net.Runner.flow) list -> (string * float) list
+(** Evaluate the spec's metrics over the measurement window
+    [\[measure-from, duration)] after a run, in declaration order,
+    keyed by {!Spec.metric_name}. RTT metrics report milliseconds and
+    default to [0.] when no samples landed in the window. *)
+
+val run_metrics :
+  ?trace:Proteus_obs.Trace.t ->
+  ?kernel:Proteus_eventsim.Sim.kernel ->
+  ?audit:bool ->
+  ?arm:(Proteus_net.Runner.t -> unit) ->
+  seed:int ->
+  Spec.t ->
+  (string * float) list
+(** [instantiate], run to [duration], and evaluate metrics. [audit]
+    (default true) attaches the conservation auditor so violations
+    raise. [arm] is called with the runner before the run starts —
+    hook for {!Proteus_harness.Supervisor.arm_runner} without a
+    harness dependency here. *)

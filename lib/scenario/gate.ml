@@ -1,0 +1,252 @@
+(* Statistical regression gate over BENCH_matrix rows.
+
+   The matrix sweep emits one row per (instance-id, metric) with the
+   across-trial mean, sample sd, half-width 95% CI and trial count.
+   Byte equality is the wrong gate for multi-trial statistics — a new
+   seed-derivation tweak or an extra trial legitimately moves every
+   digit — so the gate asks the statistical question instead: is the
+   candidate mean's difference from the baseline both practically
+   meaningful (beyond rel/abs tolerance) and statistically significant
+   (Welch's t-test, or any drift at all when both sides are
+   deterministic)? *)
+
+type row = {
+  id : string;
+  metric : string;
+  mean : float;
+  sd : float;
+  ci95 : float;
+  trials : int;
+}
+
+type config = { alpha : float; rel_tol : float; abs_tol : float }
+
+let default = { alpha = 0.01; rel_tol = 0.05; abs_tol = 0.005 }
+
+type regression = {
+  r_base : row;
+  r_cand : row;
+  delta : float;
+  t_stat : float option;  (** [None] when both sides are deterministic *)
+}
+
+type verdict = {
+  regressions : regression list;
+  missing : row list;  (** in baseline, absent from candidate *)
+  added : row list;  (** in candidate, absent from baseline *)
+  compared : int;
+}
+
+let passed v = v.regressions = [] && v.missing = [] && v.added = []
+
+(* --- two-sided Student-t critical values ------------------------- *)
+
+(* Rows: df 1..30 then 40, 60, 120, inf; columns alpha 0.05 / 0.01 /
+   0.001. Conservative lookup: round df down to the nearest table row,
+   so small-sample comparisons use the larger critical value. *)
+let t_table =
+  [|
+    (1., (12.706, 63.657, 636.619));
+    (2., (4.303, 9.925, 31.599));
+    (3., (3.182, 5.841, 12.924));
+    (4., (2.776, 4.604, 8.610));
+    (5., (2.571, 4.032, 6.869));
+    (6., (2.447, 3.707, 5.959));
+    (7., (2.365, 3.499, 5.408));
+    (8., (2.306, 3.355, 5.041));
+    (9., (2.262, 3.250, 4.781));
+    (10., (2.228, 3.169, 4.587));
+    (11., (2.201, 3.106, 4.437));
+    (12., (2.179, 3.055, 4.318));
+    (13., (2.160, 3.012, 4.221));
+    (14., (2.145, 2.977, 4.140));
+    (15., (2.131, 2.947, 4.073));
+    (16., (2.120, 2.921, 4.015));
+    (17., (2.110, 2.898, 3.965));
+    (18., (2.101, 2.878, 3.922));
+    (19., (2.093, 2.861, 3.883));
+    (20., (2.086, 2.845, 3.850));
+    (21., (2.080, 2.831, 3.819));
+    (22., (2.074, 2.819, 3.792));
+    (23., (2.069, 2.807, 3.768));
+    (24., (2.064, 2.797, 3.745));
+    (25., (2.060, 2.787, 3.725));
+    (26., (2.056, 2.779, 3.707));
+    (27., (2.052, 2.771, 3.690));
+    (28., (2.048, 2.763, 3.674));
+    (29., (2.045, 2.756, 3.659));
+    (30., (2.042, 2.750, 3.646));
+    (40., (2.021, 2.704, 3.551));
+    (60., (2.000, 2.660, 3.460));
+    (120., (1.980, 2.617, 3.373));
+    (infinity, (1.960, 2.576, 3.291));
+  |]
+
+let t_crit ~alpha ~df =
+  let pick (a, b, c) =
+    if alpha <= 0.001 then c else if alpha <= 0.01 then b else a
+  in
+  let df = if df < 1.0 then 1.0 else df in
+  let best = ref (pick (let _, v = t_table.(0) in v)) in
+  Array.iter (fun (d, v) -> if d <= df then best := pick v) t_table;
+  !best
+
+(* Welch's t statistic and Welch–Satterthwaite degrees of freedom. *)
+let welch a b =
+  let va = a.sd *. a.sd /. float_of_int a.trials
+  and vb = b.sd *. b.sd /. float_of_int b.trials in
+  let se2 = va +. vb in
+  if se2 <= 0.0 then None
+  else
+    let t = (b.mean -. a.mean) /. sqrt se2 in
+    let df =
+      se2 *. se2
+      /. ((va *. va /. float_of_int (max 1 (a.trials - 1)))
+         +. (vb *. vb /. float_of_int (max 1 (b.trials - 1))))
+    in
+    Some (t, df)
+
+let significant cfg base cand =
+  let delta = cand.mean -. base.mean in
+  let tol =
+    Float.max cfg.abs_tol
+      (cfg.rel_tol *. Float.max (Float.abs base.mean) (Float.abs cand.mean))
+  in
+  if Float.abs delta <= tol then None
+  else
+    match welch base cand with
+    | None ->
+        (* Both sides deterministic (zero variance): any drift beyond
+           tolerance is real. *)
+        Some { r_base = base; r_cand = cand; delta; t_stat = None }
+    | Some (t, df) ->
+        if Float.abs t > t_crit ~alpha:cfg.alpha ~df then
+          Some { r_base = base; r_cand = cand; delta; t_stat = Some t }
+        else None
+
+let compare_rows ?(cfg = default) ~baseline ~candidate () =
+  let key r = (r.id, r.metric) in
+  let tbl = Hashtbl.create (List.length baseline) in
+  List.iter (fun r -> Hashtbl.replace tbl (key r) r) baseline;
+  let regressions = ref [] and added = ref [] and compared = ref 0 in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt tbl (key c) with
+      | None -> added := c :: !added
+      | Some b ->
+          Hashtbl.remove tbl (key c);
+          incr compared;
+          Option.iter
+            (fun r -> regressions := r :: !regressions)
+            (significant cfg b c))
+    candidate;
+  let missing =
+    List.filter (fun r -> Hashtbl.mem tbl (key r)) baseline
+  in
+  {
+    regressions = List.rev !regressions;
+    missing;
+    added = List.rev !added;
+    compared = !compared;
+  }
+
+(* --- BENCH_matrix row parsing ------------------------------------ *)
+
+(* The emitter writes one flat JSON object per line; a full JSON parser
+   would be dead weight for that. Scan for ["key": value] pairs. *)
+
+let find_field line key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nlen = String.length needle and llen = String.length line in
+  let rec search i =
+    if i + nlen > llen then None
+    else if String.sub line i nlen = needle then Some (i + nlen)
+    else search (i + 1)
+  in
+  match search 0 with
+  | None -> None
+  | Some i ->
+      let i = ref i in
+      while !i < llen && line.[!i] = ' ' do incr i done;
+      if !i >= llen then None
+      else if line.[!i] = '"' then (
+        let buf = Buffer.create 16 in
+        incr i;
+        let rec go () =
+          if !i >= llen then None
+          else
+            match line.[!i] with
+            | '"' -> Some (Buffer.contents buf)
+            | '\\' when !i + 1 < llen ->
+                Buffer.add_char buf line.[!i + 1];
+                i := !i + 2;
+                go ()
+            | c ->
+                Buffer.add_char buf c;
+                incr i;
+                go ()
+        in
+        go ())
+      else
+        let start = !i in
+        while
+          !i < llen && (match line.[!i] with ',' | '}' -> false | _ -> true)
+        do
+          incr i
+        done;
+        Some (String.trim (String.sub line start (!i - start)))
+
+let row_of_line line =
+  match find_field line "id" with
+  | None -> None
+  | Some id -> (
+      let num key =
+        Option.bind (find_field line key) float_of_string_opt
+      in
+      match
+        (find_field line "metric", num "mean", num "sd", num "ci95", num "trials")
+      with
+      | Some metric, Some mean, Some sd, Some ci95, Some trials ->
+          Some { id; metric; mean; sd; ci95; trials = int_of_float trials }
+      | _ -> None)
+
+let parse_bench path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      let parse () =
+        let rows = ref [] and n = ref 0 and bad = ref None in
+        (try
+           while !bad = None do
+             incr n;
+             let line = input_line ic in
+             (* Only result rows carry an "id" key; header/metadata
+                lines fall through row_of_line as None. *)
+             match row_of_line line with
+             | Some r -> rows := r :: !rows
+             | None ->
+                 if Option.is_some (find_field line "id") then
+                   bad :=
+                     Some (Printf.sprintf "%s:%d: malformed result row" path !n)
+           done
+         with End_of_file -> ());
+        match !bad with
+        | Some m -> Error m
+        | None ->
+            if !rows = [] then
+              Error (Printf.sprintf "%s: no result rows found" path)
+            else Ok (List.rev !rows)
+      in
+      match Fun.protect ~finally:(fun () -> close_in_noerr ic) parse with
+      | r -> r
+      | exception Sys_error e -> Error e)
+
+let describe_regression r =
+  let stat =
+    match r.t_stat with
+    | Some t -> Printf.sprintf "welch t=%.2f" t
+    | None -> "deterministic"
+  in
+  Printf.sprintf "%s %s: %.6g -> %.6g (delta %+.6g, %s, n=%d vs %d)" r.r_base.id
+    r.r_base.metric r.r_base.mean r.r_cand.mean r.delta stat r.r_base.trials
+    r.r_cand.trials

@@ -1,0 +1,58 @@
+(* The protocol registry the scenario language (and proteus-sim) draw
+   from: one name per congestion controller, plus the parameterized
+   "blaster=RATE_MBPS" constant-rate sender. *)
+
+let known =
+  [
+    "cubic";
+    "bbr";
+    "bbr-s";
+    "copa";
+    "ledbat";
+    "ledbat-100";
+    "ledbat-25";
+    "vivace";
+    "proteus-p";
+    "proteus-s";
+  ]
+
+let blaster_rate name =
+  if String.length name > 8 && String.sub name 0 8 = "blaster=" then
+    match float_of_string_opt (String.sub name 8 (String.length name - 8)) with
+    | Some rate when Float.is_finite rate && rate > 0.0 -> Ok (Some rate)
+    | _ -> Error (Printf.sprintf "bad blaster rate in %S" name)
+  else Ok None
+
+let validate name =
+  let name = String.lowercase_ascii name in
+  if List.mem name known then Ok ()
+  else
+    match blaster_rate name with
+    | Ok (Some _) -> Ok ()
+    | Error e -> Error e
+    | Ok None ->
+        Error
+          (Printf.sprintf "unknown protocol %S (want one of %s, blaster=RATE)"
+             name
+             (String.concat " " known))
+
+let factory name : (Proteus_net.Sender.factory, string) result =
+  match String.lowercase_ascii name with
+  | "cubic" -> Ok (Proteus_cc.Cubic.factory ())
+  | "bbr" -> Ok (Proteus_cc.Bbr.factory ())
+  | "bbr-s" -> Ok (Proteus_cc.Bbr.scavenger_factory ())
+  | "copa" -> Ok (Proteus_cc.Copa.factory ())
+  | "ledbat" | "ledbat-100" -> Ok (Proteus_cc.Ledbat.factory ())
+  | "ledbat-25" ->
+      Ok (Proteus_cc.Ledbat.factory ~params:Proteus_cc.Ledbat.draft_25ms ())
+  | "vivace" -> Ok (Proteus.Presets.vivace ())
+  | "proteus-p" -> Ok (Proteus.Presets.proteus_p ())
+  | "proteus-s" -> Ok (Proteus.Presets.proteus_s ())
+  | name -> (
+      match blaster_rate name with
+      | Ok (Some rate) -> Ok (Proteus_cc.Blaster.factory ~rate_mbps:rate)
+      | Error e -> Error e
+      | Ok None -> (
+          match validate name with
+          | Error e -> Error e
+          | Ok () -> Error (Printf.sprintf "unhandled protocol %S" name)))

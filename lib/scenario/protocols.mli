@@ -1,0 +1,14 @@
+(** Protocol registry shared by the scenario language and the
+    [proteus-sim] CLI: congestion controllers by name, plus the
+    parameterized [blaster=RATE_MBPS] constant-rate sender. *)
+
+val known : string list
+(** Fixed protocol names (excludes the [blaster=R] family). *)
+
+val validate : string -> (unit, string) result
+(** Whether the name denotes a constructible sender (case-insensitive),
+    without building one — used by spec validation, which must not
+    allocate sender state. *)
+
+val factory : string -> (Proteus_net.Sender.factory, string) result
+(** Fresh sender factory for the named protocol. *)

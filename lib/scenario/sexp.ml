@@ -1,0 +1,193 @@
+(* Minimal s-expression reader/printer for the scenario language.
+
+   Atoms are bare tokens or double-quoted strings (with backslash, quote, n, t
+   escapes); `;` starts a comment running to end of line. The parser
+   tracks line/column so spec errors point at the offending form. No
+   external dependency — the container pins the package set, so this
+   stays on the stdlib. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let error ~line ~col fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise (Parse_error (Printf.sprintf "line %d, col %d: %s" line col msg)))
+    fmt
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some ';' ->
+      let rec to_eol () =
+        match peek lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | _ -> ()
+
+let is_bare_char = function
+  | ' ' | '\t' | '\r' | '\n' | '(' | ')' | '"' | ';' -> false
+  | _ -> true
+
+let read_quoted lx =
+  let line0 = lx.line and col0 = lx.col in
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> error ~line:line0 ~col:col0 "unterminated string"
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+        advance lx;
+        match peek lx with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance lx;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance lx;
+            go ()
+        | Some (('"' | '\\') as c) ->
+            Buffer.add_char buf c;
+            advance lx;
+            go ()
+        | Some c -> error ~line:lx.line ~col:lx.col "bad escape '\\%c'" c
+        | None -> error ~line:line0 ~col:col0 "unterminated string")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance lx;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_bare lx =
+  let start = lx.pos in
+  let rec go () =
+    match peek lx with
+    | Some c when is_bare_char c ->
+        advance lx;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub lx.src start (lx.pos - start)
+
+let rec read_form lx =
+  skip_ws lx;
+  match peek lx with
+  | None -> error ~line:lx.line ~col:lx.col "unexpected end of input"
+  | Some '(' ->
+      let line0 = lx.line and col0 = lx.col in
+      advance lx;
+      let items = ref [] in
+      let rec go () =
+        skip_ws lx;
+        match peek lx with
+        | Some ')' -> advance lx
+        | None -> error ~line:line0 ~col:col0 "unclosed '('"
+        | Some _ ->
+            items := read_form lx :: !items;
+            go ()
+      in
+      go ();
+      List (List.rev !items)
+  | Some ')' -> error ~line:lx.line ~col:lx.col "unexpected ')'"
+  | Some '"' -> Atom (read_quoted lx)
+  | Some _ -> Atom (read_bare lx)
+
+let parse_string_exn src =
+  let lx = { src; pos = 0; line = 1; col = 1 } in
+  let forms = ref [] in
+  let rec go () =
+    skip_ws lx;
+    match peek lx with
+    | None -> ()
+    | Some _ ->
+        forms := read_form lx :: !forms;
+        go ()
+  in
+  go ();
+  List.rev !forms
+
+let parse_string src =
+  match parse_string_exn src with
+  | forms -> Ok forms
+  | exception Parse_error msg -> Error msg
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | src -> (
+      match parse_string src with
+      | Ok f -> Ok f
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let must_quote s =
+  s = "" || not (String.for_all is_bare_char s)
+
+let atom_to_string s =
+  if must_quote s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let rec to_buf buf = function
+  | Atom s -> Buffer.add_string buf (atom_to_string s)
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          to_buf buf item)
+        items;
+      Buffer.add_char buf ')'
+
+let to_string form =
+  let buf = Buffer.create 256 in
+  to_buf buf form;
+  Buffer.contents buf

@@ -1,0 +1,112 @@
+(** The declarative scenario language: a typed spec parsed from
+    s-expressions and compiled onto the existing
+    {!Proteus_net.Topology} / {!Proteus_net.Runner} stack by {!Build}.
+
+    Grammar (see DESIGN.md §5f for the full walkthrough):
+
+    {v
+    (scenario
+      (name NAME)                        ; optional, defaults to "scenario"
+      (duration SECONDS)
+      (measure-from SECONDS)             ; optional, default duration/3
+      (topology TOPO)
+      (flows FLOW ...)
+      (fluid (link ID) [(buffer-share F)] CLASS ...) ...   ; optional
+      (metrics METRIC ...))              ; optional
+
+    TOPO   := (dumbbell LINK)
+            | (chain LINK ...)
+            | (parking-lot (hops N) (cross CC) LINK)
+    LINK   := (link (bw-mbps X) (rtt-ms X) (buffer-bytes N)
+               [(loss-rate P)] [(loss LOSSMODEL)] [(noise NOISE)]
+               [(reorder-prob P)] [(reorder-extra-ms X)] [(dup-prob P)]
+               [(schedule (at T IMP) ...)])
+    LOSSMODEL := (iid P) | (gilbert-elliott PGB PBG LG LB)
+    NOISE  := none | wifi | lte | (gaussian SIGMA_MS)
+    IMP    := (set-bandwidth MBPS) | (set-rtt MS) | (set-buffer BYTES)
+            | (set-loss LOSSMODEL) | (down SECONDS [flush])
+    FLOW   := (flow (cc CC) [(label L)] [(start T)] [(stop T)]
+               [(size-mb MB)] [(route e2e | rev | (hop N))])
+    CLASS  := (class (label L) [(flows N)] [(responsiveness R)]
+               (envelope (T RATE_MBPS) ...))
+    METRIC := (tput L) | (mean-rtt L) | (p95-rtt L) | (loss L)
+            | (total-tput) | (fairness)
+    v} *)
+
+type route = E2e | Hop of int | Rev
+
+type flow = {
+  cc : string;  (** {!Protocols} registry name *)
+  label : string;
+  start : float;
+  stop : float option;
+  size_mb : float option;
+  route : route;
+}
+
+type fluid_class = {
+  c_label : string;
+  c_flows : int;
+  c_responsiveness : float;
+  c_envelope : (float * float) list;  (** (from_s, rate_mbps) segments *)
+}
+
+type fluid = {
+  f_link : int;
+  f_buffer_share : float option;
+  f_classes : fluid_class list;
+}
+
+type topology =
+  | Dumbbell of Proteus_net.Link.config
+  | Chain of Proteus_net.Link.config list
+      (** Reverse links mirror the forward hops. *)
+  | Parking_lot of { hops : int; link : Proteus_net.Link.config; cross : string }
+      (** [hops] identical hops, one [cross] flow pinned per hop;
+          declared flows default to the end-to-end route. *)
+
+type metric =
+  | Tput of string
+  | Mean_rtt of string
+  | P95_rtt of string
+  | Loss of string
+  | Total_tput
+  | Fairness
+
+type t = {
+  name : string;
+  duration : float;
+  measure_from : float;
+  topology : topology;
+  flows : flow list;
+  fluids : fluid list;
+  metrics : metric list;
+}
+
+val metric_name : metric -> string
+(** Stable key used in journal payloads and BENCH_matrix rows, e.g.
+    ["tput:a"], ["fairness"]. *)
+
+val flow_labels : t -> string list
+(** Labels of declared flows plus the implicit [crossN] parking-lot
+    cross flows, in instantiation order. *)
+
+val default_metrics : t -> metric list
+(** The metrics an empty [(metrics)] clause defaults to: per-flow
+    throughput and loss plus [total-tput]. *)
+
+val of_sexp : Sexp.t -> (t, string) result
+(** Parse and fully validate one [(scenario ...)] form: structural
+    errors (unknown clauses, arity, non-numeric atoms), link-parameter
+    errors (via {!Proteus_net.Link.config}), fluid-class errors (via
+    {!Proteus_net.Aggregate.cls}), unknown protocols, duplicate or
+    malformed labels, routes incompatible with the topology, metric
+    references to unknown flow labels, and unbound [$var] atoms left
+    over from a template that was never instantiated. *)
+
+val to_sexp : t -> Sexp.t
+(** Canonical printing; [of_sexp (to_sexp t) = Ok t]. *)
+
+val validate : t -> (unit, string) result
+(** Semantic checks on an already-typed spec (what {!of_sexp} runs
+    after parsing) — exposed for specs built programmatically. *)

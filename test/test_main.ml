@@ -26,4 +26,5 @@ let () =
       ("web", Test_web.suite);
       ("fluid", Test_fluid.suite);
       ("shard", Test_shard.suite);
+      ("scenario", Test_scenario.suite);
     ]

@@ -1,0 +1,537 @@
+(* The declarative scenario layer: s-expression parsing, spec
+   round-trips, validation errors, grid expansion determinism, golden
+   parity of spec-driven runs against hand-written Runner twins, and
+   the statistical matrix gate. *)
+
+module Net = Proteus_net
+module Scn = Proteus_scenario
+module Sexp = Scn.Sexp
+module Spec = Scn.Spec
+module Grid = Scn.Grid
+module Gate = Scn.Gate
+
+let parse_spec text =
+  match Sexp.parse_string text with
+  | Error e -> Alcotest.failf "sexp parse: %s" e
+  | Ok [ form ] -> (
+      match Spec.of_sexp form with
+      | Ok s -> s
+      | Error e -> Alcotest.failf "spec parse: %s" e)
+  | Ok forms -> Alcotest.failf "expected one form, got %d" (List.length forms)
+
+let expect_spec_error text needle =
+  match Sexp.parse_string text with
+  | Error _ -> () (* lexical rejection counts too *)
+  | Ok [ form ] -> (
+      match Spec.of_sexp form with
+      | Ok _ -> Alcotest.failf "expected error mentioning %S, spec parsed" needle
+      | Error e ->
+          let lower = String.lowercase_ascii e in
+          let nl = String.lowercase_ascii needle in
+          let found = ref false in
+          let n = String.length lower and m = String.length nl in
+          for i = 0 to n - m do
+            if String.sub lower i m = nl then found := true
+          done;
+          if not !found then
+            Alcotest.failf "error %S does not mention %S" e needle)
+  | Ok _ -> Alcotest.fail "expected a single form"
+
+(* ---------- sexp parser ---------- *)
+
+let test_sexp_roundtrip () =
+  let cases =
+    [
+      "(a b (c d) ())";
+      "(atom-with-dash 1.5 -3 \"quoted string\" \"with \\\" escape\")";
+      "(nested (deeply (x (y (z)))))";
+    ]
+  in
+  List.iter
+    (fun text ->
+      match Sexp.parse_string text with
+      | Error e -> Alcotest.failf "parse %S: %s" text e
+      | Ok forms ->
+          let printed = String.concat " " (List.map Sexp.to_string forms) in
+          (match Sexp.parse_string printed with
+          | Ok forms' when forms = forms' -> ()
+          | Ok _ -> Alcotest.failf "round-trip changed %S" text
+          | Error e -> Alcotest.failf "reparse %S: %s" printed e))
+    cases
+
+let test_sexp_comments_and_errors () =
+  (match Sexp.parse_string "; just a comment\n(a b) ; trailing\n" with
+  | Ok [ Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ] ] -> ()
+  | _ -> Alcotest.fail "comment handling");
+  (match Sexp.parse_string "(unclosed" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unclosed list accepted");
+  match Sexp.parse_string "(bad \"unterminated)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated string accepted"
+
+(* ---------- spec round-trip ---------- *)
+
+let full_featured =
+  {|
+(scenario
+  (name kitchen-sink)
+  (duration 5)
+  (measure-from 1.5)
+  (topology (chain
+    (link (bw-mbps 20) (rtt-ms 10) (buffer-bytes 150000)
+      (loss (gilbert-elliott 0.01 0.3 0.001 0.2))
+      (schedule (at 2 (set-bandwidth 10)) (at 3 (down 0.5 flush))))
+    (link (bw-mbps 15) (rtt-ms 12) (buffer-bytes 120000)
+      (noise (gaussian 4)) (reorder-prob 0.02) (reorder-extra-ms 6)
+      (dup-prob 0.01))))
+  (fluid (link 1) (buffer-share 0.5)
+    (class (label bg) (flows 2) (responsiveness 0.7)
+      (envelope (0 2) (2 8))))
+  (flows
+    (flow (cc cubic) (label a) (route e2e))
+    (flow (cc proteus-s) (label b) (start 1) (stop 4) (route (hop 0)))
+    (flow (cc blaster=5) (label c) (route rev) (size-mb 2.5)))
+  (metrics (tput a) (mean-rtt a) (p95-rtt b) (loss c) (total-tput) (fairness)))
+|}
+
+let test_spec_roundtrip () =
+  let s = parse_spec full_featured in
+  let printed = Sexp.to_string (Spec.to_sexp s) in
+  match Sexp.parse_string printed with
+  | Ok [ form ] -> (
+      match Spec.of_sexp form with
+      | Ok s' when s = s' -> ()
+      | Ok _ -> Alcotest.failf "round-trip changed the spec:\n%s" printed
+      | Error e -> Alcotest.failf "reparse: %s" e)
+  | _ -> Alcotest.fail "re-lex failed"
+
+let test_spec_defaults () =
+  let s =
+    parse_spec
+      {|(scenario (duration 6)
+         (topology (dumbbell (link (bw-mbps 10) (rtt-ms 30) (buffer-bytes 100000))))
+         (flows (flow (cc cubic))))|}
+  in
+  Alcotest.(check string) "default name" "scenario" s.Spec.name;
+  Alcotest.(check (float 1e-9)) "measure-from = duration/3" 2.0 s.Spec.measure_from;
+  Alcotest.(check string) "auto label" "f0" (List.hd s.Spec.flows).Spec.label;
+  (* empty metrics clause falls back to per-flow tput/loss + total *)
+  Alcotest.(check int) "default metrics" 3 (List.length s.Spec.metrics)
+
+let test_validation_errors () =
+  let dumbbell_flows flows =
+    Printf.sprintf
+      {|(scenario (duration 6)
+         (topology (dumbbell (link (bw-mbps 10) (rtt-ms 30) (buffer-bytes 100000))))
+         (flows %s))|}
+      flows
+  in
+  expect_spec_error (dumbbell_flows "(flow (cc warp9))") "unknown protocol";
+  expect_spec_error
+    (dumbbell_flows "(flow (cc cubic) (label a)) (flow (cc bbr) (label a))")
+    "duplicate";
+  expect_spec_error
+    (dumbbell_flows "(flow (cc cubic) (route (hop 0)))")
+    "route";
+  expect_spec_error
+    (dumbbell_flows "(flow (cc cubic) (start -1))")
+    "start";
+  expect_spec_error
+    {|(scenario (duration 6)
+       (topology (chain (link (bw-mbps 10) (rtt-ms 30) (buffer-bytes 100000))))
+       (flows (flow (cc cubic) (route (hop 3)))))|}
+    "hop";
+  expect_spec_error
+    {|(scenario (duration 6)
+       (topology (dumbbell (link (bw-mbps 10) (rtt-ms 30) (buffer-bytes 100000))))
+       (flows (flow (cc cubic) (label a)))
+       (metrics (tput ghost)))|}
+    "ghost";
+  expect_spec_error
+    {|(scenario (duration 6) (measure-from 6)
+       (topology (dumbbell (link (bw-mbps 10) (rtt-ms 30) (buffer-bytes 100000))))
+       (flows (flow (cc cubic))))|}
+    "measure-from";
+  expect_spec_error
+    (dumbbell_flows "(flow (cc $cc))")
+    "template";
+  expect_spec_error
+    {|(scenario (duration 6)
+       (topology (dumbbell (link (bw-mbps 10) (rtt-ms 30) (buffer-bytes 100000))))
+       (fluid (link 2) (class (label bg) (envelope (0 1))))
+       (flows (flow (cc cubic))))|}
+    "link";
+  expect_spec_error
+    {|(scenario (duration 6)
+       (topology (dumbbell (link (bw-mbps -5) (rtt-ms 30) (buffer-bytes 100000))))
+       (flows (flow (cc cubic))))|}
+    "bandwidth"
+
+(* ---------- grid expansion ---------- *)
+
+let grid_text =
+  {|
+(scenario
+  (name g)
+  (duration 4)
+  (grid (cc cubic bbr) (bw 10 20 30))
+  (topology (dumbbell (link (bw-mbps $bw) (rtt-ms 30) (buffer-bytes 100000))))
+  (flows (flow (cc $cc) (label a))))
+|}
+
+let load_grid text =
+  match Sexp.parse_string text with
+  | Ok [ form ] -> (
+      match Grid.of_sexp form with
+      | Ok t -> t
+      | Error e -> Alcotest.failf "grid: %s" e)
+  | _ -> Alcotest.fail "grid lex"
+
+let test_grid_expansion_count () =
+  let t = load_grid grid_text in
+  Alcotest.(check int) "combos" 6 (List.length (Grid.combos t));
+  match Grid.expand t ~trials:3 with
+  | Error e -> Alcotest.failf "expand: %s" e
+  | Ok insts ->
+      Alcotest.(check int) "instances" 18 (List.length insts);
+      let ids = List.map (fun (i : Grid.instance) -> i.id) insts in
+      Alcotest.(check int) "unique ids" 18
+        (List.length (List.sort_uniq String.compare ids));
+      Alcotest.(check string) "first id" "g/cc=cubic,bw=10/t0" (List.hd ids)
+
+let test_grid_determinism () =
+  let t = load_grid grid_text in
+  let e1 = Result.get_ok (Grid.expand t ~trials:2) in
+  let e2 = Result.get_ok (Grid.expand t ~trials:2) in
+  List.iter2
+    (fun (a : Grid.instance) (b : Grid.instance) ->
+      Alcotest.(check string) "id" a.id b.id;
+      Alcotest.(check int) "seed" a.seed b.seed;
+      if a.spec <> b.spec then Alcotest.fail "spec drifted")
+    e1 e2;
+  (* seeds are functions of the id alone: stable across processes and
+     independent of sibling scenarios *)
+  List.iter
+    (fun (i : Grid.instance) ->
+      Alcotest.(check int) "seed from id" (Grid.seed_of_id i.id) i.seed;
+      if i.seed < 1 || i.seed > 1_000_000_000 then
+        Alcotest.failf "seed %d out of range" i.seed)
+    e1
+
+let test_grid_errors () =
+  let bad_dup =
+    {|(scenario (duration 4) (grid (cc cubic) (cc bbr))
+       (topology (dumbbell (link (bw-mbps 10) (rtt-ms 30) (buffer-bytes 100000))))
+       (flows (flow (cc $cc))))|}
+  in
+  let bad_unref =
+    {|(scenario (duration 4) (grid (ghost 1 2))
+       (topology (dumbbell (link (bw-mbps 10) (rtt-ms 30) (buffer-bytes 100000))))
+       (flows (flow (cc cubic))))|}
+  in
+  List.iter
+    (fun text ->
+      match Sexp.parse_string text with
+      | Ok [ form ] -> (
+          match Grid.of_sexp form with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "grid accepted: %s" text)
+      | _ -> Alcotest.fail "lex")
+    [ bad_dup; bad_unref ]
+
+(* ---------- spec-driven run vs hand-written twin ---------- *)
+
+let flow_fingerprint f =
+  let st = Net.Runner.stats f in
+  ( Net.Flow_stats.packets_sent st,
+    Net.Flow_stats.packets_acked st,
+    Net.Flow_stats.packets_lost st,
+    Net.Flow_stats.bytes_acked st )
+
+let check_fingerprint name a b =
+  let (s1, a1, l1, b1) = a and (s2, a2, l2, b2) = b in
+  if a <> b then
+    Alcotest.failf "%s: (%d,%d,%d,%.0f) <> (%d,%d,%d,%.0f)" name s1 a1 l1 b1
+      s2 a2 l2 b2
+
+let test_golden_parity_dumbbell () =
+  let spec =
+    parse_spec
+      {|(scenario (duration 5) (measure-from 2)
+         (topology (dumbbell (link (bw-mbps 15) (rtt-ms 30) (buffer-bytes 120000))))
+         (flows
+           (flow (cc cubic) (label p))
+           (flow (cc proteus-s) (label s) (start 1))))|}
+  in
+  let seed = 11 in
+  let r_spec, flows = Scn.Build.instantiate ~seed spec in
+  Net.Runner.run r_spec ~until:5.0;
+  (* the twin, written the way bench experiments build the same run *)
+  let cfg =
+    Net.Link.config ~bandwidth_mbps:15.0 ~rtt_ms:30.0 ~buffer_bytes:120_000 ()
+  in
+  let r_hand = Net.Runner.create ~seed cfg in
+  let p =
+    Net.Runner.add_flow r_hand ~label:"p" ~factory:(Proteus_cc.Cubic.factory ())
+  in
+  let s =
+    Net.Runner.add_flow r_hand ~start:1.0 ~label:"s"
+      ~factory:(Proteus.Presets.proteus_s ())
+  in
+  Net.Runner.run r_hand ~until:5.0;
+  check_fingerprint "primary identical" (flow_fingerprint p)
+    (flow_fingerprint (List.assoc "p" flows));
+  check_fingerprint "scavenger identical" (flow_fingerprint s)
+    (flow_fingerprint (List.assoc "s" flows))
+
+let test_golden_parity_chain () =
+  let spec =
+    parse_spec
+      {|(scenario (duration 5) (measure-from 2)
+         (topology (chain
+           (link (bw-mbps 20) (rtt-ms 10) (buffer-bytes 150000))
+           (link (bw-mbps 15) (rtt-ms 10) (buffer-bytes 120000))))
+         (flows
+           (flow (cc cubic) (label e2e) (route e2e))
+           (flow (cc bbr) (label short) (route (hop 1)) (start 1))))|}
+  in
+  let seed = 23 in
+  let r_spec, flows = Scn.Build.instantiate ~seed spec in
+  Net.Runner.run r_spec ~until:5.0;
+  let links =
+    [
+      Net.Link.config ~bandwidth_mbps:20.0 ~rtt_ms:10.0 ~buffer_bytes:150_000 ();
+      Net.Link.config ~bandwidth_mbps:15.0 ~rtt_ms:10.0 ~buffer_bytes:120_000 ();
+    ]
+  in
+  let topo = Net.Topology.chain links in
+  let r_hand = Net.Runner.create_topo ~seed topo in
+  let e2e =
+    Net.Runner.add_flow r_hand
+      ~route:(Net.Topology.chain_route topo)
+      ~label:"e2e" ~factory:(Proteus_cc.Cubic.factory ())
+  in
+  let short =
+    Net.Runner.add_flow r_hand ~start:1.0
+      ~route:(Net.Topology.hop_route topo ~hop:1)
+      ~label:"short" ~factory:(Proteus_cc.Bbr.factory ())
+  in
+  Net.Runner.run r_hand ~until:5.0;
+  check_fingerprint "e2e identical" (flow_fingerprint e2e)
+    (flow_fingerprint (List.assoc "e2e" flows));
+  check_fingerprint "hop flow identical" (flow_fingerprint short)
+    (flow_fingerprint (List.assoc "short" flows))
+
+let test_run_metrics_deterministic () =
+  let spec = parse_spec full_featured in
+  let m1 = Scn.Build.run_metrics ~seed:5 spec in
+  let m2 = Scn.Build.run_metrics ~seed:5 spec in
+  Alcotest.(check int) "metric count" (List.length spec.Spec.metrics)
+    (List.length m1);
+  List.iter2
+    (fun (k1, v1) (k2, v2) ->
+      Alcotest.(check string) "metric key" k1 k2;
+      Alcotest.(check (float 0.0)) k1 v1 v2;
+      if not (Float.is_finite v1) then Alcotest.failf "%s not finite" k1)
+    m1 m2
+
+(* ---------- QCheck: generated valid specs run audit-clean ---------- *)
+
+let gen_spec =
+  let open QCheck.Gen in
+  let gen_link =
+    (float_range 5.0 25.0 >>= fun bw ->
+     float_range 10.0 60.0 >>= fun rtt ->
+     int_range 40_000 200_000 >>= fun buf ->
+     float_range 0.0 0.02 >>= fun loss ->
+     return
+       (Net.Link.config ~loss_rate:loss ~bandwidth_mbps:bw ~rtt_ms:rtt
+          ~buffer_bytes:buf ()))
+  in
+  let gen_cc =
+    oneofl [ "cubic"; "bbr"; "copa"; "proteus-p"; "proteus-s"; "ledbat-100" ]
+  in
+  let gen_flow label =
+    gen_cc >>= fun cc ->
+    float_range 0.0 1.5 >>= fun start ->
+    return
+      { Spec.cc; label; start; stop = None; size_mb = None; route = Spec.E2e }
+  in
+  int_range 1 3 >>= fun n_flows ->
+  let labels = List.filteri (fun i _ -> i < n_flows) [ "a"; "b"; "c" ] in
+  flatten_l (List.map gen_flow labels) >>= fun flows ->
+  oneof [ return `Dumbbell; return `Chain1; return `Chain2 ] >>= fun shape ->
+  (match shape with
+  | `Dumbbell -> gen_link >>= fun l -> return (Spec.Dumbbell l)
+  | `Chain1 -> gen_link >>= fun l -> return (Spec.Chain [ l ])
+  | `Chain2 ->
+      gen_link >>= fun l1 ->
+      gen_link >>= fun l2 -> return (Spec.Chain [ l1; l2 ]))
+  >>= fun topology ->
+  float_range 3.0 4.0 >>= fun duration ->
+  let spec =
+    {
+      Spec.name = "gen";
+      duration;
+      measure_from = 1.0;
+      topology;
+      flows;
+      fluids = [];
+      metrics = [];
+    }
+  in
+  return { spec with Spec.metrics = Spec.default_metrics spec }
+
+let prop_generated_spec_runs =
+  QCheck.Test.make ~name:"generated spec round-trips and runs audit-clean"
+    ~count:12
+    (QCheck.make gen_spec
+       ~print:(fun s -> Sexp.to_string (Spec.to_sexp s)))
+    (fun spec ->
+      (match Spec.validate spec with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "validate: %s" e);
+      (match Spec.of_sexp (Spec.to_sexp spec) with
+      | Ok s when s = spec -> ()
+      | Ok _ -> QCheck.Test.fail_reportf "round-trip changed spec"
+      | Error e -> QCheck.Test.fail_reportf "reparse: %s" e);
+      (* audit attached by default: a conservation violation raises *)
+      let ms = Scn.Build.run_metrics ~seed:3 spec in
+      List.length ms = List.length spec.Spec.metrics
+      && List.for_all (fun (_, v) -> Float.is_finite v) ms)
+
+(* ---------- the statistical gate ---------- *)
+
+let row id metric mean sd trials =
+  {
+    Gate.id;
+    metric;
+    mean;
+    sd;
+    ci95 = (if trials > 1 then 1.96 *. sd /. sqrt (float_of_int trials) else 0.0);
+    trials;
+  }
+
+let test_gate_tcrit () =
+  Alcotest.(check (float 1e-3)) "df=4 alpha=.05" 2.776
+    (Gate.t_crit ~alpha:0.05 ~df:4.0);
+  Alcotest.(check (float 1e-3)) "df=4 alpha=.01" 4.604
+    (Gate.t_crit ~alpha:0.01 ~df:4.0);
+  (* finite df rounds down to the nearest row (conservative): huge but
+     finite df uses the 120 row; only df = infinity reaches the z row *)
+  Alcotest.(check (float 1e-3)) "df=1e9 alpha=.05" 1.980
+    (Gate.t_crit ~alpha:0.05 ~df:1e9);
+  Alcotest.(check (float 1e-3)) "df=inf alpha=.05" 1.960
+    (Gate.t_crit ~alpha:0.05 ~df:infinity);
+  (* conservative: fractional df rounds down *)
+  Alcotest.(check (float 1e-3)) "df=4.9 = df 4" 4.604
+    (Gate.t_crit ~alpha:0.01 ~df:4.9)
+
+let test_gate_pass_and_regression () =
+  let baseline = [ row "s/a" "tput" 10.0 0.3 5; row "s/a" "loss" 0.01 0.0 5 ] in
+  (* identical candidate passes *)
+  let v = Gate.compare_rows ~baseline ~candidate:baseline () in
+  if not (Gate.passed v) then Alcotest.fail "self-compare failed";
+  Alcotest.(check int) "compared" 2 v.Gate.compared;
+  (* small shift within noise passes *)
+  let near = [ row "s/a" "tput" 10.2 0.3 5; row "s/a" "loss" 0.01 0.0 5 ] in
+  let v = Gate.compare_rows ~baseline ~candidate:near () in
+  if not (Gate.passed v) then Alcotest.fail "within-noise shift flagged";
+  (* big, significant shift fails: the synthetic regression *)
+  let worse = [ row "s/a" "tput" 6.0 0.3 5; row "s/a" "loss" 0.01 0.0 5 ] in
+  let v = Gate.compare_rows ~baseline ~candidate:worse () in
+  (match v.Gate.regressions with
+  | [ r ] ->
+      Alcotest.(check string) "metric" "tput" r.Gate.r_base.Gate.metric;
+      if r.Gate.delta >= 0.0 then Alcotest.fail "delta sign"
+  | rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs));
+  (* deterministic drift (sd=0) beyond tolerance also fails *)
+  let det_drift = [ row "s/a" "tput" 10.0 0.3 5; row "s/a" "loss" 0.05 0.0 5 ] in
+  let v = Gate.compare_rows ~baseline ~candidate:det_drift () in
+  (match v.Gate.regressions with
+  | [ r ] -> (
+      match r.Gate.t_stat with
+      | None -> ()
+      | Some _ -> Alcotest.fail "expected deterministic verdict")
+  | rs -> Alcotest.failf "expected 1 deterministic regression, got %d"
+            (List.length rs));
+  (* a noisy cell needs a big relative shift: huge sd absorbs it *)
+  let noisy_base = [ row "s/b" "tput" 10.0 4.0 3 ] in
+  let noisy_cand = [ row "s/b" "tput" 8.5 4.0 3 ] in
+  let v = Gate.compare_rows ~baseline:noisy_base ~candidate:noisy_cand () in
+  if not (Gate.passed v) then Alcotest.fail "noisy cell flagged"
+
+let test_gate_shape_changes () =
+  let baseline = [ row "s/a" "tput" 10.0 0.3 5; row "s/b" "tput" 5.0 0.3 5 ] in
+  let candidate = [ row "s/a" "tput" 10.0 0.3 5; row "s/c" "tput" 5.0 0.3 5 ] in
+  let v = Gate.compare_rows ~baseline ~candidate () in
+  Alcotest.(check int) "missing" 1 (List.length v.Gate.missing);
+  Alcotest.(check int) "added" 1 (List.length v.Gate.added);
+  if Gate.passed v then Alcotest.fail "shape change passed"
+
+let test_gate_parse_bench () =
+  let path = Filename.temp_file "bench_matrix" ".json" in
+  let oc = open_out path in
+  output_string oc
+    "{\n\
+    \  \"schema\": \"pcc-proteus-bench-matrix/1\",\n\
+    \  \"config\": {\"trials\": 3},\n\
+    \  \"failed_runs\": [],\n\
+    \  \"results\": [\n\
+    \    {\"id\": \"s/cc=cubic\", \"metric\": \"tput:a\", \"mean\": 9.61, \
+     \"sd\": 0.12, \"ci95\": 0.136, \"trials\": 3},\n\
+    \    {\"id\": \"s/cc=bbr\", \"metric\": \"loss:a\", \"mean\": 0.01, \
+     \"sd\": 0, \"ci95\": 0, \"trials\": 3}\n\
+    \  ]\n}\n";
+  close_out oc;
+  (match Gate.parse_bench path with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok rows ->
+      Alcotest.(check int) "rows" 2 (List.length rows);
+      let r = List.hd rows in
+      Alcotest.(check string) "id" "s/cc=cubic" r.Gate.id;
+      Alcotest.(check string) "metric" "tput:a" r.Gate.metric;
+      Alcotest.(check (float 1e-9)) "mean" 9.61 r.Gate.mean;
+      Alcotest.(check int) "trials" 3 r.Gate.trials);
+  Sys.remove path
+
+let test_protocols_registry () =
+  List.iter
+    (fun name ->
+      match Scn.Protocols.validate name with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s rejected: %s" name e)
+    Scn.Protocols.known;
+  (match Scn.Protocols.validate "blaster=12.5" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "blaster rejected: %s" e);
+  (match Scn.Protocols.validate "blaster=-3" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "negative blaster accepted");
+  match Scn.Protocols.validate "warp9" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown protocol accepted"
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("sexp round-trip", `Quick, test_sexp_roundtrip);
+    ("sexp comments/errors", `Quick, test_sexp_comments_and_errors);
+    ("spec round-trip", `Quick, test_spec_roundtrip);
+    ("spec defaults", `Quick, test_spec_defaults);
+    ("validation errors", `Quick, test_validation_errors);
+    ("grid expansion count", `Quick, test_grid_expansion_count);
+    ("grid determinism", `Quick, test_grid_determinism);
+    ("grid errors", `Quick, test_grid_errors);
+    ("golden parity: dumbbell twin", `Quick, test_golden_parity_dumbbell);
+    ("golden parity: chain twin", `Quick, test_golden_parity_chain);
+    ("run-metrics deterministic", `Slow, test_run_metrics_deterministic);
+    ("gate t-table", `Quick, test_gate_tcrit);
+    ("gate pass/regression", `Quick, test_gate_pass_and_regression);
+    ("gate shape changes", `Quick, test_gate_shape_changes);
+    ("gate parses bench rows", `Quick, test_gate_parse_bench);
+    ("protocol registry", `Quick, test_protocols_registry);
+  ]
+  @ qcheck [ prop_generated_spec_runs ]
