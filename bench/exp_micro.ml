@@ -115,19 +115,35 @@ let many_flow_name kernel =
   | Sim.Heap_kernel -> "1 sim-second, 64 flows @500Mbps"
   | Sim.Wheel_kernel -> "1 sim-second, 64 flows @500Mbps (wheel)"
 
-let two_flow_test kernel =
-  Test.make ~name:(two_flow_name kernel)
+(* The 2-flow shape with CUBIC swapped for its fold-program twin: the
+   delta against the plain 2-flow micro is the datapath adapter's
+   overhead (budgeted at <= 5%; the CI tolerance key on the headline
+   guards the committed ratio). *)
+let two_flow_dp_name kernel =
+  match kernel with
+  | Sim.Heap_kernel -> "1 sim-second, 2 flows @50Mbps (cubic-dp)"
+  | Sim.Wheel_kernel -> "1 sim-second, 2 flows @50Mbps (cubic-dp wheel)"
+
+let two_flow_shape ~cubic kernel name =
+  Test.make ~name
     (Staged.stage (fun () ->
          let cfg =
            Net.Link.config ~bandwidth_mbps:50.0 ~rtt_ms:30.0
              ~buffer_bytes:375_000 ()
          in
          let r = Net.Runner.create ~kernel cfg in
-         ignore (Net.Runner.add_flow r ~label:"a"
-                   ~factory:(Proteus_cc.Cubic.factory ()));
+         ignore (Net.Runner.add_flow r ~label:"a" ~factory:(cubic ()));
          ignore (Net.Runner.add_flow r ~label:"b"
                    ~factory:(Proteus.Presets.proteus_s ()));
          Net.Runner.run r ~until:1.0))
+
+let two_flow_test kernel =
+  two_flow_shape ~cubic:(fun () -> Proteus_cc.Cubic.factory ()) kernel
+    (two_flow_name kernel)
+
+let two_flow_dp_test kernel =
+  two_flow_shape ~cubic:(fun () -> Proteus_cc.Cubic_dp.factory ()) kernel
+    (two_flow_dp_name kernel)
 
 let many_flow_test kernel =
   Test.make ~name:(many_flow_name kernel)
@@ -152,6 +168,8 @@ let tests =
       heap_test; sim_kernel_test; link_test; mi_test; utility_test;
       two_flow_test Sim.Heap_kernel;
       two_flow_test Sim.Wheel_kernel;
+      two_flow_dp_test Sim.Heap_kernel;
+      two_flow_dp_test Sim.Wheel_kernel;
       many_flow_test Sim.Heap_kernel;
       many_flow_test Sim.Wheel_kernel;
     ]
@@ -201,6 +219,8 @@ let headline_pairs rows =
   [
     ("two_flow_heap", sim_secs (two_flow_name Sim.Heap_kernel));
     ("two_flow_wheel", sim_secs (two_flow_name Sim.Wheel_kernel));
+    ("two_flow_heap_dp", sim_secs (two_flow_dp_name Sim.Heap_kernel));
+    ("two_flow_wheel_dp", sim_secs (two_flow_dp_name Sim.Wheel_kernel));
     ("many_flow_heap", sim_secs (many_flow_name Sim.Heap_kernel));
     ("many_flow_wheel", sim_secs (many_flow_name Sim.Wheel_kernel));
   ]

@@ -1,0 +1,116 @@
+(* CUBIC re-expressed as a datapath fold program + control handler.
+   The per-ACK window growth (slow start, cubic epoch) is the fold; the
+   multiplicative decrease lives in the control handler, reached
+   through an On_loss report. Every floating-point operation replicates
+   Cubic's order exactly, so a cubic-dp flow is byte-identical to its
+   monolithic twin on any topology (test_datapath pins this with golden
+   digests). *)
+
+module Dp = Proteus.Datapath
+
+let beta = 0.7
+let c = 0.4
+let initial_cwnd = 10.0
+let min_cwnd = 2.0
+
+(* Register layout. *)
+let r_cwnd = 0
+let r_ssthresh = 1
+let r_w_max = 2
+let r_epoch = 3 (* NaN = no epoch in progress *)
+let r_k = 4
+let r_srtt = 5
+let r_last_red = 6
+
+let register_names =
+  [ "cwnd"; "ssthresh"; "w_max"; "epoch_start"; "k"; "srtt"; "last_reduction" ]
+
+let i_rtt = Dp.signal_index Dp.Rtt_sample
+let i_now = Dp.signal_index Dp.Now
+
+(* Mirrors Cubic.on_ack_impl minus the inflight bookkeeping (the
+   adapter owns inflight with the same decrement-first semantics). *)
+let on_ack regs sigs =
+  regs.(r_srtt) <- (0.875 *. regs.(r_srtt)) +. (0.125 *. sigs.(i_rtt));
+  if regs.(r_cwnd) < regs.(r_ssthresh) then
+    regs.(r_cwnd) <- regs.(r_cwnd) +. 1.0
+  else begin
+    let now = sigs.(i_now) in
+    let epoch =
+      if not (Float.is_nan regs.(r_epoch)) then regs.(r_epoch)
+      else begin
+        regs.(r_epoch) <- now;
+        if regs.(r_w_max) <= regs.(r_cwnd) then begin
+          regs.(r_w_max) <- regs.(r_cwnd);
+          regs.(r_k) <- 0.0
+        end
+        else regs.(r_k) <- Float.cbrt (regs.(r_w_max) *. (1.0 -. beta) /. c);
+        now
+      end
+    in
+    let elapsed = now -. epoch +. regs.(r_srtt) in
+    let w_cubic = (c *. ((elapsed -. regs.(r_k)) ** 3.0)) +. regs.(r_w_max) in
+    let w_est =
+      (regs.(r_w_max) *. beta)
+      +. (3.0 *. (1.0 -. beta) /. (1.0 +. beta) *. (elapsed /. regs.(r_srtt)))
+    in
+    let target = Float.max w_cubic w_est in
+    if target > regs.(r_cwnd) then
+      regs.(r_cwnd) <- regs.(r_cwnd) +. ((target -. regs.(r_cwnd)) /. regs.(r_cwnd))
+    else regs.(r_cwnd) <- regs.(r_cwnd) +. (0.01 /. regs.(r_cwnd))
+  end
+
+let on_loss _regs _sigs = ()
+
+let program (_ : Proteus_net.Sender.env) =
+  {
+    Dp.p_name = "cubic-dp";
+    p_regs =
+      [|
+        Dp.reg "cwnd" initial_cwnd;
+        Dp.reg "ssthresh" infinity;
+        Dp.reg "w_max" 0.0;
+        Dp.reg "epoch_start" Float.nan;
+        Dp.reg "k" 0.0;
+        Dp.reg "srtt" 0.1;
+        Dp.reg "last_reduction" neg_infinity;
+      |];
+    p_cwnd = r_cwnd;
+    p_on_ack = on_ack;
+    p_on_loss = on_loss;
+    p_triggers = [| Dp.On_loss |];
+  }
+
+(* The control side: one multiplicative decrease per srtt, fast
+   convergence, epoch reset — Cubic.on_loss_impl verbatim over the
+   register file, with the resulting window installed through the
+   actions record. *)
+module Control = struct
+  type t = unit
+
+  let create _env _prog = ()
+
+  let on_report () (rep : Dp.report) (act : Dp.actions) =
+    match rep.Dp.rp_cause with
+    | Dp.Loss_event ->
+        let regs = rep.Dp.rp_regs in
+        let now = rep.Dp.rp_time in
+        if now -. regs.(r_last_red) > regs.(r_srtt) then begin
+          regs.(r_last_red) <- now;
+          if regs.(r_cwnd) < regs.(r_w_max) then
+            regs.(r_w_max) <- regs.(r_cwnd) *. (2.0 -. beta) /. 2.0
+          else regs.(r_w_max) <- regs.(r_cwnd);
+          regs.(r_cwnd) <- Float.max min_cwnd (regs.(r_cwnd) *. beta);
+          regs.(r_ssthresh) <- Float.max min_cwnd regs.(r_cwnd);
+          regs.(r_epoch) <- Float.nan;
+          act.Dp.a_cwnd <- regs.(r_cwnd)
+        end
+    | Dp.Interval | Dp.Predicate -> ()
+    (* Interval/predicate reports are observability-only for CUBIC:
+       scenario-level (interval T) overrides stay behavior-neutral. *)
+end
+
+module Lowered = Dp.To_sender (Control)
+
+let factory ?interval ?consts () : Proteus_net.Sender.factory =
+  Lowered.lower (fun env -> Dp.with_overrides ?interval ?consts (program env))

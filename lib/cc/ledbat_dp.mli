@@ -1,0 +1,31 @@
+(** LEDBAT as a datapath fold program + control handler —
+    byte-identical to {!Ledbat} (golden-digest pinned). The RFC 6817
+    delay filters become fixed register banks folded per ACK; the loss
+    halving runs in the control handler behind an [On_loss] report. *)
+
+type params = { target_ms : float; gain : float }
+
+val default : params
+(** 100 ms queueing-delay target, unit gain (RFC 6817). *)
+
+val draft_25ms : params
+(** 25 ms target from the earlier LEDBAT draft. *)
+
+val register_names : string list
+(** Names accepted by scenario [(const REG V)] overrides. Notable:
+    ["target"] (seconds — [(const target 0.025)] reproduces
+    [ledbat-25]), ["gain"], ["mtu"]. *)
+
+val program :
+  ?params:params -> Proteus_net.Sender.env -> Proteus.Datapath.program
+
+val handler : Proteus.Datapath.handler
+
+val factory :
+  ?params:params ->
+  ?interval:float ->
+  ?consts:(string * float) list ->
+  unit ->
+  Proteus_net.Sender.factory
+(** Lowered sender factory; see {!Cubic_dp.factory} for the override
+    semantics. *)

@@ -67,8 +67,10 @@ type t = {
   link_out : float array;
   (* Reusable scratch for the [Sender] unboxed call protocol (see
      [Sender.S_meta]): 0 = now, 1 = send_time, 2 = rtt, 3 = next-send
-     result. Safe to share across flows — each event handler fills it
-     before the sender call it guards, and sender calls don't nest. *)
+     result, 4 = in-flight packets, 5 = delivered bytes (the two
+     runner-supplied datapath signals). Safe to share across flows —
+     each event handler fills it before the sender call it guards, and
+     sender calls don't nest. *)
   meta : float array;
   mutable flows : flow list;
   mutable next_id : int;
@@ -123,7 +125,7 @@ let create_topo ?(seed = 42) ?(trace = Trace.disabled)
     root_rng;
     trace;
     link_out = Array.make 3 0.0;
-    meta = Array.make 4 0.0;
+    meta = Array.make 6 0.0;
     flows = [];
     next_id = 0;
     audit = None;
@@ -469,6 +471,16 @@ and handle_loss t f ~seq ~size ~hop =
   if f.total_bytes >= 0 then f.remaining <- f.remaining + size;
   kick t f
 
+(* Runner-supplied datapath signals (meta slots 4 and 5, filled after
+   the slot releases): the authoritative in-flight count is the ring
+   occupancy — packets transmitted and not yet resolved, excluding the
+   one this event resolves (in-flight duplicate-ACK slots transiently
+   count) — and the delivered-byte total is the receiver-side goodput
+   before this event (duplicate ACK bytes never accrue). *)
+let[@inline] fill_runner_signals t f =
+  t.meta.(4) <- float_of_int (Array.length f.ring_seq - f.ring_free_len);
+  t.meta.(5) <- float_of_int f.acked_bytes
+
 let on_ack_event t f idx =
   let m = t.meta in
   m.(0) <- Sim.now t.sim;
@@ -477,6 +489,7 @@ let on_ack_event t f idx =
   let seq = Array.unsafe_get f.ring_seq idx
   and size = Array.unsafe_get f.ring_size idx in
   release_slot f idx;
+  fill_runner_signals t f;
   handle_ack t f ~seq ~size
 
 let on_loss_event t f idx =
@@ -487,6 +500,7 @@ let on_loss_event t f idx =
   and size = Array.unsafe_get f.ring_size idx
   and hop = f.route_fwd.(Array.unsafe_get f.ring_hop idx) in
   release_slot f idx;
+  fill_runner_signals t f;
   handle_loss t f ~seq ~size ~hop
 
 let on_dup_ack_event t f idx =
@@ -497,6 +511,7 @@ let on_dup_ack_event t f idx =
   let seq = Array.unsafe_get f.ring_seq idx
   and size = Array.unsafe_get f.ring_size idx in
   release_slot f idx;
+  fill_runner_signals t f;
   handle_dup_ack t f ~seq ~size
 
 let add_flow ?(start = 0.0) ?stop ?size_bytes ?on_complete ?on_ack_bytes ?route

@@ -37,6 +37,13 @@ end
      meta.(1) = send_time  (input to on_ack_m / on_loss_m)
      meta.(2) = rtt        (input to on_ack_m)
      meta.(3) = next-send time (output of next_send_m)
+     meta.(4) = in-flight packets   (optional runner-supplied signal)
+     meta.(5) = delivered bytes     (optional runner-supplied signal)
+
+   Slots 4 and 5 exist only when the caller provides them (the Runner
+   does; test harnesses may pass 4-slot arrays) — senders that read
+   them must guard on [Array.length meta] and fall back to their own
+   estimates (see [Proteus.Datapath]).
 
    Hot controllers implement the [_m] functions natively (reading the
    scratch directly); everything else derives them from the boxed

@@ -78,6 +78,15 @@ end
     - [meta.(1)] — [send_time] (input to [on_ack_m]/[on_loss_m])
     - [meta.(2)] — [rtt] (input to [on_ack_m])
     - [meta.(3)] — next-send time (output of [next_send_m])
+    - [meta.(4)] — in-flight packets (optional runner-supplied signal:
+      ring occupancy after this event's slot released)
+    - [meta.(5)] — delivered bytes (optional runner-supplied signal:
+      receiver-side goodput before this event, duplicates excluded)
+
+    Slots 4 and 5 are present only when the caller supplies them (the
+    [Runner] does); senders reading them must guard on
+    [Array.length meta] and fall back to their own estimates — see
+    [Proteus.Datapath] for the one consumer.
 
     Controllers on the hot path implement {!S_meta} natively and
     register through {!pack_meta}; {!pack} derives the [_m] functions

@@ -54,7 +54,14 @@ let instantiate ?trace ?kernel ~seed (t : Spec.t) =
     List.map
       (fun (f : Spec.flow) ->
         let factory =
-          match Protocols.factory f.cc with
+          let built =
+            match f.dp with
+            | None -> Protocols.factory f.cc
+            | Some d ->
+                Protocols.datapath_factory ?interval:d.dp_interval
+                  ~consts:d.dp_consts f.cc
+          in
+          match built with
           | Ok f -> f
           | Error e -> fail "flow %s: %s" f.label e
         in

@@ -5,16 +5,42 @@
 let known =
   [
     "cubic";
+    "cubic-dp";
     "bbr";
     "bbr-s";
     "copa";
     "ledbat";
     "ledbat-100";
     "ledbat-25";
+    "ledbat-dp";
     "vivace";
     "proteus-p";
     "proteus-s";
   ]
+
+(* Datapath (fold-program) protocols additionally accept
+   (datapath NAME (interval T) (const REG V) ...) override forms. *)
+
+let datapath_known name =
+  match String.lowercase_ascii name with
+  | "cubic-dp" | "ledbat-dp" -> true
+  | _ -> false
+
+let datapath_registers name =
+  match String.lowercase_ascii name with
+  | "cubic-dp" -> Proteus_cc.Cubic_dp.register_names
+  | "ledbat-dp" -> Proteus_cc.Ledbat_dp.register_names
+  | _ -> []
+
+let datapath_factory ?interval ?(consts = []) name :
+    (Proteus_net.Sender.factory, string) result =
+  match String.lowercase_ascii name with
+  | "cubic-dp" -> Ok (Proteus_cc.Cubic_dp.factory ?interval ~consts ())
+  | "ledbat-dp" -> Ok (Proteus_cc.Ledbat_dp.factory ?interval ~consts ())
+  | name ->
+      Error
+        (Printf.sprintf
+           "%S is not a datapath protocol (want cubic-dp or ledbat-dp)" name)
 
 let blaster_rate name =
   if String.length name > 8 && String.sub name 0 8 = "blaster=" then
@@ -39,6 +65,8 @@ let validate name =
 let factory name : (Proteus_net.Sender.factory, string) result =
   match String.lowercase_ascii name with
   | "cubic" -> Ok (Proteus_cc.Cubic.factory ())
+  | "cubic-dp" -> Ok (Proteus_cc.Cubic_dp.factory ())
+  | "ledbat-dp" -> Ok (Proteus_cc.Ledbat_dp.factory ())
   | "bbr" -> Ok (Proteus_cc.Bbr.factory ())
   | "bbr-s" -> Ok (Proteus_cc.Bbr.scavenger_factory ())
   | "copa" -> Ok (Proteus_cc.Copa.factory ())

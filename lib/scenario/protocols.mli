@@ -12,3 +12,22 @@ val validate : string -> (unit, string) result
 
 val factory : string -> (Proteus_net.Sender.factory, string) result
 (** Fresh sender factory for the named protocol. *)
+
+val datapath_known : string -> bool
+(** Whether the name denotes a datapath (fold-program) protocol —
+    i.e. may appear in the scenario language's
+    [(cc (datapath NAME ...))] form with trigger/register overrides. *)
+
+val datapath_registers : string -> string list
+(** Register names the datapath protocol accepts in [(const REG V)]
+    overrides; [[]] for non-datapath names. *)
+
+val datapath_factory :
+  ?interval:float ->
+  ?consts:(string * float) list ->
+  string ->
+  (Proteus_net.Sender.factory, string) result
+(** Fresh factory for a datapath protocol with overrides applied:
+    [interval] appends an [Every] report trigger, [consts] replaces
+    initial register values by name (validate against
+    {!datapath_registers} first — unknown names raise). *)

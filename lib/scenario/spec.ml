@@ -8,6 +8,11 @@ module Aggregate = Proteus_net.Aggregate
 
 type route = E2e | Hop of int | Rev
 
+type dp_overrides = {
+  dp_interval : float option;
+  dp_consts : (string * float) list;
+}
+
 type flow = {
   cc : string;
   label : string;
@@ -15,6 +20,7 @@ type flow = {
   stop : float option;
   size_mb : float option;
   route : route;
+  dp : dp_overrides option;
 }
 
 type fluid_class = {
@@ -289,10 +295,26 @@ let print_route = function
   | Rev -> Sexp.Atom "rev"
   | Hop n -> Sexp.List [ Sexp.Atom "hop"; Sexp.Atom (string_of_int n) ]
 
+let parse_datapath_cc clauses =
+  let interval = ref None
+  and consts = ref [] in
+  List.iter
+    (fun clause ->
+      match clause with
+      | Sexp.List [ Sexp.Atom "interval"; t ] ->
+          interval := Some (float_atom "datapath interval" t)
+      | Sexp.List [ Sexp.Atom "const"; r; v ] ->
+          consts :=
+            (atom "datapath const" r, float_atom "datapath const" v) :: !consts
+      | f -> bad "datapath: unknown clause %s" (Sexp.to_string f))
+    clauses;
+  { dp_interval = !interval; dp_consts = List.rev !consts }
+
 let parse_flow idx form =
   match form with
   | Sexp.List (Sexp.Atom "flow" :: clauses) ->
       let cc = ref None
+      and dp = ref None
       and label = ref None
       and start = ref 0.0
       and stop = ref None
@@ -301,6 +323,13 @@ let parse_flow idx form =
       List.iter
         (fun clause ->
           match clause with
+          | Sexp.List
+              [ Sexp.Atom "cc"; Sexp.List (Sexp.Atom "datapath" :: rest) ] -> (
+              match rest with
+              | name :: overrides ->
+                  cc := Some (atom "datapath" name);
+                  dp := Some (parse_datapath_cc overrides)
+              | [] -> bad "datapath: missing protocol name")
           | Sexp.List [ Sexp.Atom "cc"; c ] -> cc := Some (atom "cc" c)
           | Sexp.List [ Sexp.Atom "label"; l ] -> label := Some (atom "label" l)
           | Sexp.List [ Sexp.Atom "start"; t ] -> start := float_atom "start" t
@@ -319,14 +348,30 @@ let parse_flow idx form =
         stop = !stop;
         size_mb = !size_mb;
         route = !route;
+        dp = !dp;
       }
   | f -> bad "flows: expected (flow ...), got %s" (Sexp.to_string f)
+
+let print_cc f =
+  match f.dp with
+  | None -> Sexp.Atom f.cc
+  | Some d ->
+      Sexp.List
+        ((Sexp.Atom "datapath" :: Sexp.Atom f.cc
+          ::
+          (match d.dp_interval with
+          | Some t -> [ Sexp.List [ Sexp.Atom "interval"; Sexp.Atom (fstr t) ] ]
+          | None -> []))
+        @ List.map
+            (fun (r, v) ->
+              Sexp.List [ Sexp.Atom "const"; Sexp.Atom r; Sexp.Atom (fstr v) ])
+            d.dp_consts)
 
 let print_flow f =
   Sexp.List
     ([
        Sexp.Atom "flow";
-       Sexp.List [ Sexp.Atom "cc"; Sexp.Atom f.cc ];
+       Sexp.List [ Sexp.Atom "cc"; print_cc f ];
        Sexp.List [ Sexp.Atom "label"; Sexp.Atom f.label ];
      ]
     @ (if f.start <> 0.0 then
@@ -608,6 +653,26 @@ let validate_exn t =
       (match Protocols.validate f.cc with
       | Ok () -> ()
       | Error e -> bad "flow %s: %s" f.label e);
+      (match f.dp with
+      | None -> ()
+      | Some d ->
+          if not (Protocols.datapath_known f.cc) then
+            bad "flow %s: (datapath ...) needs a datapath protocol, %S is not \
+                 one"
+              f.label f.cc;
+          (match d.dp_interval with
+          | Some t when (not (Float.is_finite t)) || t <= 0.0 ->
+              bad "flow %s: datapath interval must be positive" f.label
+          | _ -> ());
+          let regs = Protocols.datapath_registers f.cc in
+          List.iter
+            (fun (r, v) ->
+              if not (List.mem r regs) then
+                bad "flow %s: unknown datapath register %S (want one of %s)"
+                  f.label r (String.concat " " regs);
+              if Float.is_nan v then
+                bad "flow %s: datapath const %s must not be NaN" f.label r)
+            d.dp_consts);
       if (not (Float.is_finite f.start)) || f.start < 0.0 then
         bad "flow %s: start must be >= 0" f.label;
       if f.start >= t.duration then

@@ -27,6 +27,8 @@
             | (set-loss LOSSMODEL) | (down SECONDS [flush])
     FLOW   := (flow (cc CC) [(label L)] [(start T)] [(stop T)]
                [(size-mb MB)] [(route e2e | rev | (hop N))])
+    CC     := NAME
+            | (datapath NAME [(interval T)] [(const REG V)] ...)
     CLASS  := (class (label L) [(flows N)] [(responsiveness R)]
                (envelope (T RATE_MBPS) ...))
     METRIC := (tput L) | (mean-rtt L) | (p95-rtt L) | (loss L)
@@ -35,6 +37,16 @@
 
 type route = E2e | Hop of int | Rev
 
+type dp_overrides = {
+  dp_interval : float option;
+      (** Appends an [Every] report trigger to the fold program. *)
+  dp_consts : (string * float) list;
+      (** Initial register values by name; validated against
+          {!Protocols.datapath_registers}. *)
+}
+(** Overrides carried by the [(cc (datapath NAME ...))] form — only
+    legal on protocols for which {!Protocols.datapath_known} holds. *)
+
 type flow = {
   cc : string;  (** {!Protocols} registry name *)
   label : string;
@@ -42,6 +54,8 @@ type flow = {
   stop : float option;
   size_mb : float option;
   route : route;
+  dp : dp_overrides option;
+      (** [Some _] iff the flow used the [(cc (datapath ...))] form. *)
 }
 
 type fluid_class = {

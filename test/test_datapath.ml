@@ -1,0 +1,541 @@
+(* Datapath fold-program tests.
+
+   Three layers: (1) fold semantics units driven through the adapter's
+   boxed Sender interface — register init, update/report ordering,
+   volatile reset, loss-trigger edges, interval triggers, NaN-window
+   safety; (2) golden digest parity: cubic-dp and ledbat-dp must be
+   byte-identical to their monolithic twins on an impaired dumbbell and
+   a 3-hop chain, under both kernels, sequentially and across a
+   4-domain pool; (3) a QCheck property fuzzing random well-typed fold
+   programs through an audited run — the auditor's conservation laws
+   must hold and the adapter must never emit a NaN next-send time. *)
+
+module Net = Proteus_net
+module Link = Net.Link
+module Topology = Net.Topology
+module Sender = Net.Sender
+module Rng = Proteus_stats.Rng
+module Sim = Proteus_eventsim.Sim
+module Dp = Proteus.Datapath
+module Pool = Proteus_parallel.Pool
+
+let mk_env ?(mtu = 1500) () =
+  Sender.make_env ~rng:(Rng.create ~seed:1) ~mtu ()
+
+let noop _regs _sigs = ()
+
+let prog ?(name = "test-dp") ?(regs = [| Dp.reg "cwnd" 2.0 |]) ?(cwnd = 0)
+    ?(on_ack = noop) ?(on_loss = noop) ?(triggers = [||]) () =
+  {
+    Dp.p_name = name;
+    p_regs = regs;
+    p_cwnd = cwnd;
+    p_on_ack = on_ack;
+    p_on_loss = on_loss;
+    p_triggers = triggers;
+  }
+
+let lower ?(handler = fun _ _ -> ()) p =
+  Dp.to_factory ~program:(fun _ -> p) ~handler:(fun _ _ -> handler) (mk_env ())
+
+let ack s ~now ?(size = 1500) ?(rtt = 0.05) seq =
+  Sender.on_ack s ~now ~seq ~send_time:(now -. rtt) ~size ~rtt
+
+let loss s ~now seq = Sender.on_loss s ~now ~seq ~send_time:(now -. 0.05) ~size:1500
+
+(* ---------- fold semantics units ---------- *)
+
+let test_register_init () =
+  let blocked = lower (prog ~regs:[| Dp.reg "cwnd" 0.0 |] ()) in
+  Alcotest.(check (float 0.0))
+    "zero window blocks" infinity
+    (Sender.next_send blocked ~now:0.0);
+  let open_ = lower (prog ~regs:[| Dp.reg "cwnd" 2.0 |] ()) in
+  Alcotest.(check (float 0.0))
+    "window 2 sends immediately" 0.5
+    (Sender.next_send open_ ~now:0.5);
+  Sender.on_sent open_ ~now:0.5 ~seq:0 ~size:1500;
+  Sender.on_sent open_ ~now:0.5 ~seq:1 ~size:1500;
+  Alcotest.(check (float 0.0))
+    "inflight = window blocks" infinity
+    (Sender.next_send open_ ~now:0.5)
+
+let test_update_report_reset_ordering () =
+  (* A volatile byte counter behind a predicate trigger: the fold runs
+     first, the predicate sees the updated register, the report carries
+     it, and only after delivery does the volatile reset wipe it. *)
+  let seen = ref [] in
+  let handler (rep : Dp.report) (_ : Dp.actions) =
+    seen := (rep.Dp.rp_cause, rep.Dp.rp_regs.(1), rep.Dp.rp_seq) :: !seen
+  in
+  let p =
+    prog
+      ~regs:[| Dp.reg "cwnd" 100.0; Dp.reg ~volatile:true "acked" 0.0 |]
+      ~on_ack:(fun regs sigs ->
+        regs.(1) <- regs.(1) +. sigs.(Dp.signal_index Dp.Bytes_acked))
+      ~triggers:[| Dp.When (Dp.Gt, Dp.Reg 1, Dp.Const 5000.0) |]
+      ()
+  in
+  let s = lower ~handler p in
+  for i = 0 to 3 do
+    ack s ~now:(0.1 *. float_of_int i) i
+  done;
+  (match !seen with
+  | [ (Dp.Predicate, v, 0) ] ->
+      Alcotest.(check (float 0.0)) "report sees pre-reset value" 6000.0 v
+  | l -> Alcotest.failf "expected one predicate report, got %d" (List.length l));
+  (* Volatile reset: two more ACKs only reach 3000, no second report. *)
+  ack s ~now:0.5 4;
+  ack s ~now:0.6 5;
+  Alcotest.(check int) "counter was reset before re-accumulating" 1
+    (List.length !seen);
+  for i = 6 to 7 do
+    ack s ~now:(0.7 +. (0.1 *. float_of_int i)) i
+  done;
+  match !seen with
+  | (Dp.Predicate, v, 1) :: _ ->
+      Alcotest.(check (float 0.0)) "second cycle re-fires at 6000" 6000.0 v
+  | _ -> Alcotest.fail "expected a second predicate report"
+
+let test_loss_trigger_edge () =
+  let causes = ref [] in
+  let handler (rep : Dp.report) (act : Dp.actions) =
+    causes := rep.Dp.rp_cause :: !causes;
+    act.Dp.a_cwnd <- 5.0
+  in
+  let p =
+    prog ~regs:[| Dp.reg "cwnd" 100.0 |] ~triggers:[| Dp.On_loss |] ()
+  in
+  let s = lower ~handler p in
+  ack s ~now:0.1 0;
+  Alcotest.(check int) "ACKs do not fire On_loss" 0 (List.length !causes);
+  loss s ~now:0.2 1;
+  (match !causes with
+  | [ Dp.Loss_event ] -> ()
+  | _ -> Alcotest.fail "expected exactly one Loss_event report");
+  (* The installed window (5) is live: 5 in flight blocks. *)
+  for i = 2 to 6 do
+    Sender.on_sent s ~now:0.3 ~seq:i ~size:1500
+  done;
+  Alcotest.(check (float 0.0))
+    "installed cwnd bounds the window" infinity
+    (Sender.next_send s ~now:0.3)
+
+let test_install_survives_volatile_reset () =
+  (* A volatile cwnd register: the reset-to-init runs first, then the
+     handler's install lands on top. *)
+  let handler (_ : Dp.report) (act : Dp.actions) = act.Dp.a_cwnd <- 7.0 in
+  let p =
+    prog
+      ~regs:[| Dp.reg ~volatile:true "cwnd" 10.0 |]
+      ~triggers:[| Dp.On_loss |] ()
+  in
+  let s = lower ~handler p in
+  for i = 0 to 7 do
+    Sender.on_sent s ~now:0.1 ~seq:i ~size:1500
+  done;
+  loss s ~now:0.2 0;
+  (* inflight is now 7 = installed window; were the install dropped the
+     reset value 10 would let it send. *)
+  Alcotest.(check (float 0.0))
+    "install applies after the volatile reset" infinity
+    (Sender.next_send s ~now:0.2)
+
+let test_interval_trigger () =
+  let times = ref [] in
+  let handler (rep : Dp.report) (_ : Dp.actions) =
+    times := rep.Dp.rp_time :: !times
+  in
+  let p =
+    prog ~regs:[| Dp.reg "cwnd" 100.0 |] ~triggers:[| Dp.Every 1.0 |] ()
+  in
+  let s = lower ~handler p in
+  ack s ~now:0.5 0;
+  ack s ~now:1.25 1;
+  ack s ~now:1.9 2;
+  ack s ~now:2.5 3;
+  Alcotest.(check (list (float 0.0)))
+    "interval reports at first lazy expiry" [ 1.25; 2.5 ]
+    (List.rev !times)
+
+let test_nan_window_never_nan_next_send () =
+  let p =
+    prog
+      ~regs:[| Dp.reg "cwnd" 10.0 |]
+      ~on_ack:(fun regs _ -> regs.(0) <- Float.nan)
+      ()
+  in
+  let s = lower p in
+  ack s ~now:0.1 0;
+  let t = Sender.next_send s ~now:0.2 in
+  Alcotest.(check bool) "NaN window blocks, not NaN" true (t = infinity)
+
+let test_overrides () =
+  let p = prog ~regs:[| Dp.reg "cwnd" 2.0; Dp.reg "srtt" 0.1 |] () in
+  let p' = Dp.with_overrides ~interval:0.5 ~consts:[ ("srtt", 0.2) ] p in
+  Alcotest.(check (float 0.0)) "const override" 0.2 p'.Dp.p_regs.(1).Dp.r_init;
+  Alcotest.(check int) "interval appends a trigger" 1
+    (Array.length p'.Dp.p_triggers);
+  Alcotest.(check bool) "unknown register raises" true
+    (try
+       ignore (Dp.with_overrides ~consts:[ ("bogus", 1.0) ] p);
+       false
+     with Invalid_argument _ -> true);
+  match Dp.validate_program (prog ~cwnd:7 ()) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range cwnd register must not validate"
+
+let test_eval_expr () =
+  let regs = [| 2.0; 3.0 |] in
+  let sigs = Array.make Dp.num_signals 0.0 in
+  sigs.(Dp.signal_index Dp.Bytes_acked) <- 1500.0;
+  let e =
+    Dp.Bin (Dp.Add, Dp.Reg 0, Dp.Bin (Dp.Mul, Dp.Reg 1, Dp.Sig Dp.Bytes_acked))
+  in
+  Alcotest.(check (float 0.0)) "eval" 4502.0 (Dp.eval e ~regs ~sigs);
+  let ite =
+    Dp.Ite (Dp.Lt, Dp.Reg 0, Dp.Reg 1, Dp.Const 1.0, Dp.Const 2.0)
+  in
+  Alcotest.(check (float 0.0)) "ite true" 1.0 (Dp.eval ite ~regs ~sigs);
+  let f = Dp.fold_of_assigns [ (0, e); (1, Dp.Reg 0) ] in
+  f regs sigs;
+  Alcotest.(check (float 0.0)) "assigns see prior writes" 4502.0 regs.(1)
+
+(* ---------- golden digest parity ---------- *)
+
+let fmt_f v = Printf.sprintf "%.17g" v
+
+let flow_digest f =
+  let st = Net.Runner.stats f in
+  let rtts = Net.Flow_stats.rtt_samples st ~t0:0.0 ~t1:infinity in
+  let rtt_sum = Array.fold_left ( +. ) 0.0 rtts in
+  Printf.sprintf
+    "%s sent=%d acked=%d lost=%d dup=%d bytes=%s rtt_n=%d rtt_sum=%s first=%s \
+     last=%s done=%s"
+    (Net.Runner.label f)
+    (Net.Flow_stats.packets_sent st)
+    (Net.Flow_stats.packets_acked st)
+    (Net.Flow_stats.packets_lost st)
+    (Net.Flow_stats.packets_dup_acked st)
+    (fmt_f (Net.Flow_stats.bytes_acked st))
+    (Array.length rtts) (fmt_f rtt_sum)
+    (match Net.Flow_stats.first_ack_time st with
+    | Some t -> fmt_f t
+    | None -> "-")
+    (match Net.Flow_stats.last_ack_time st with
+    | Some t -> fmt_f t
+    | None -> "-")
+    (match Net.Runner.completion_time f with
+    | Some t -> fmt_f t
+    | None -> "-")
+
+(* Loss, reordering, duplication, an outage and bandwidth steps: every
+   sender event path (ack / dup-ack / loss) feeds the folds. *)
+let impaired_cfg () =
+  Link.config ~reorder_prob:0.05 ~dup_prob:0.02
+    ~loss:
+      (Link.Gilbert_elliott
+         { p_good_bad = 0.02; p_bad_good = 0.3; loss_good = 0.0; loss_bad = 0.4 })
+    ~schedule:
+      [
+        (2.0, Link.Down { duration = 1.0; flush = false });
+        (4.0, Link.Set_bandwidth 5.0);
+      ]
+    ~bandwidth_mbps:20.0 ~rtt_ms:30.0 ~buffer_bytes:150_000 ()
+
+let run_dumbbell ~kernel ~seed factory =
+  let r =
+    Net.Runner.create_topo ~seed ~kernel (Topology.dumbbell (impaired_cfg ()))
+  in
+  let a = Net.Runner.add_flow r ~label:"dut" ~factory in
+  let b =
+    Net.Runner.add_flow r ~start:1.0 ~label:"peer"
+      ~factory:(Proteus_cc.Cubic.factory ())
+  in
+  ignore (Net.Runner.attach_audit r);
+  Net.Runner.run r ~until:8.0;
+  flow_digest a ^ " | " ^ flow_digest b
+
+let chain_links () =
+  [
+    Link.config ~bandwidth_mbps:30.0 ~rtt_ms:10.0 ~buffer_bytes:120_000 ();
+    Link.config ~loss_rate:0.01 ~bandwidth_mbps:12.0 ~rtt_ms:20.0
+      ~buffer_bytes:90_000 ();
+    Link.config ~bandwidth_mbps:25.0 ~rtt_ms:10.0 ~buffer_bytes:120_000 ();
+  ]
+
+let run_chain ~kernel ~seed factory =
+  let topo = Topology.chain (chain_links ()) in
+  let r = Net.Runner.create_topo ~seed ~kernel topo in
+  let route = Topology.chain_route topo in
+  let a = Net.Runner.add_flow r ~route ~label:"dut" ~factory in
+  let b =
+    Net.Runner.add_flow r ~route ~start:1.0 ~label:"peer"
+      ~factory:(Proteus_cc.Cubic.factory ())
+  in
+  ignore (Net.Runner.attach_audit r);
+  Net.Runner.run r ~until:8.0;
+  flow_digest a ^ " | " ^ flow_digest b
+
+let check_parity ~what run mono dp =
+  List.iter
+    (fun (kname, kernel) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s (%s kernel)" what kname)
+        (run ~kernel ~seed:11 mono) (run ~kernel ~seed:11 dp))
+    [ ("heap", Sim.Heap_kernel); ("wheel", Sim.Wheel_kernel) ]
+
+let test_cubic_parity_dumbbell () =
+  check_parity ~what:"cubic-dp == cubic on dumbbell" run_dumbbell
+    (Proteus_cc.Cubic.factory ())
+    (Proteus_cc.Cubic_dp.factory ())
+
+let test_cubic_parity_chain () =
+  check_parity ~what:"cubic-dp == cubic on 3-hop chain" run_chain
+    (Proteus_cc.Cubic.factory ())
+    (Proteus_cc.Cubic_dp.factory ())
+
+let test_ledbat_parity_dumbbell () =
+  check_parity ~what:"ledbat-dp == ledbat on dumbbell" run_dumbbell
+    (Proteus_cc.Ledbat.factory ())
+    (Proteus_cc.Ledbat_dp.factory ())
+
+let test_ledbat_parity_chain () =
+  check_parity ~what:"ledbat-dp == ledbat on 3-hop chain" run_chain
+    (Proteus_cc.Ledbat.factory ())
+    (Proteus_cc.Ledbat_dp.factory ())
+
+let test_ledbat25_const_override_parity () =
+  (* (const target 0.025) from a scenario reproduces ledbat-25. *)
+  check_parity ~what:"ledbat-dp const target == ledbat-25" run_dumbbell
+    (Proteus_cc.Ledbat.factory ~params:Proteus_cc.Ledbat.draft_25ms ())
+    (Proteus_cc.Ledbat_dp.factory
+       ~consts:[ ("target", Net.Units.ms 25.0) ]
+       ())
+
+let test_interval_reports_behavior_neutral () =
+  (* An (interval T) override adds trace-visible reports but must not
+     perturb the packet schedule. *)
+  check_parity ~what:"cubic-dp with interval reports == cubic" run_dumbbell
+    (Proteus_cc.Cubic.factory ())
+    (Proteus_cc.Cubic_dp.factory ~interval:0.5 ())
+
+(* Determinism across a domain pool: the same four seeded parity runs
+   fanned over 4 domains must reproduce the sequential digests. *)
+let test_jobs4_determinism () =
+  let seeds = [ 3; 11; 42; 97 ] in
+  let run seed =
+    run_dumbbell ~kernel:Sim.Wheel_kernel ~seed (Proteus_cc.Cubic_dp.factory ())
+    ^ " || "
+    ^ run_chain ~kernel:Sim.Heap_kernel ~seed (Proteus_cc.Ledbat_dp.factory ())
+  in
+  let sequential = List.map run seeds in
+  let pool = Pool.create ~jobs:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let pooled = Pool.map pool run seeds in
+      Alcotest.(check (list string))
+        "jobs=4 reproduces sequential digests" sequential pooled)
+
+(* The adapter's per-ACK discipline: driving the unboxed meta protocol
+   through a real cubic-dp instance must not allocate (no closures, no
+   float boxing — all fold state lives in float arrays). Reports only
+   fire on loss here, so 10k ACKs with zero allocation is the
+   contract; any per-ACK box would show up as >= 20k minor words. *)
+let test_ack_path_allocation_free () =
+  let s = Proteus_cc.Cubic_dp.factory () (mk_env ()) in
+  let meta = Array.make 6 0.0 in
+  let drive n =
+    for i = 1 to n do
+      let now = 0.001 *. float_of_int i in
+      meta.(0) <- now;
+      Sender.next_send_m s ~meta;
+      Sender.on_sent_m s ~meta ~seq:i ~size:1500;
+      meta.(1) <- now -. 0.03;
+      meta.(2) <- 0.03 +. (0.0001 *. float_of_int (i mod 7));
+      meta.(4) <- 1.0;
+      meta.(5) <- float_of_int (1500 * i);
+      Sender.on_ack_m s ~meta ~seq:i ~size:1500
+    done
+  in
+  drive 100 (* warmup: first-ACK initialisation *);
+  let before = Gc.minor_words () in
+  drive 10_000;
+  let words = Gc.minor_words () -. before in
+  if words > 64.0 then
+    Alcotest.failf "ACK hot path allocated %.0f minor words over 10k ACKs"
+      words
+
+(* ---------- QCheck: random programs vs the auditor ---------- *)
+
+(* Bounded well-typed grammar. Windows are clamped into [1, 1000] at
+   every assignment so generated programs stay live-ish; a NaN that
+   survives the clamp simply blocks the flow, which the adapter must
+   translate into [infinity] (never NaN). *)
+let gen_signal =
+  QCheck.Gen.oneofl
+    [
+      Dp.Bytes_acked;
+      Dp.Bytes_misordered;
+      Dp.Lost_sample;
+      Dp.Rtt_sample;
+      Dp.Rtt_sample_us;
+      Dp.Rate_outgoing;
+      Dp.Rate_incoming;
+      Dp.Inflight;
+      Dp.Now;
+    ]
+
+let gen_binop = QCheck.Gen.oneofl [ Dp.Add; Dp.Sub; Dp.Mul; Dp.Div; Dp.Min; Dp.Max ]
+let gen_cmp = QCheck.Gen.oneofl [ Dp.Lt; Dp.Le; Dp.Gt; Dp.Ge; Dp.Eq ]
+
+let rec gen_expr ~nregs depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun s -> Dp.Sig s) gen_signal;
+        map (fun i -> Dp.Reg i) (int_bound (nregs - 1));
+        map (fun c -> Dp.Const c) (float_bound_inclusive 100.0);
+      ]
+  else
+    frequency
+      [
+        (2, gen_expr ~nregs 0);
+        ( 3,
+          gen_binop >>= fun op ->
+          gen_expr ~nregs (depth - 1) >>= fun a ->
+          gen_expr ~nregs (depth - 1) >>= fun b -> return (Dp.Bin (op, a, b)) );
+        ( 1,
+          gen_cmp >>= fun c ->
+          gen_expr ~nregs 0 >>= fun a ->
+          gen_expr ~nregs 0 >>= fun b ->
+          gen_expr ~nregs (depth - 1) >>= fun t ->
+          gen_expr ~nregs (depth - 1) >>= fun e ->
+          return (Dp.Ite (c, a, b, t, e)) );
+      ]
+
+let clamp_cwnd e = Dp.Bin (Dp.Max, Dp.Const 1.0, Dp.Bin (Dp.Min, Dp.Const 1000.0, e))
+
+let gen_assigns ~nregs =
+  let open QCheck.Gen in
+  list_size (int_range 1 3)
+    ( int_bound (nregs - 1) >>= fun dst ->
+      gen_expr ~nregs 2 >>= fun e ->
+      return (dst, if dst = 0 then clamp_cwnd e else e) )
+
+let gen_trigger ~nregs =
+  let open QCheck.Gen in
+  frequency
+    [
+      (2, map (fun d -> Dp.Every (0.05 +. d)) (float_bound_inclusive 1.0));
+      (2, return Dp.On_loss);
+      ( 2,
+        gen_cmp >>= fun c ->
+        int_bound (nregs - 1) >>= fun r ->
+        float_bound_inclusive 50.0 >>= fun v ->
+        return (Dp.When (c, Dp.Reg r, Dp.Const v)) );
+    ]
+
+let gen_program =
+  let open QCheck.Gen in
+  let nregs = 3 in
+  gen_assigns ~nregs >>= fun on_ack ->
+  gen_assigns ~nregs >>= fun on_loss ->
+  list_size (int_bound 2) (gen_trigger ~nregs) >>= fun triggers ->
+  float_bound_inclusive 20.0 >>= fun r1 ->
+  float_bound_inclusive 20.0 >>= fun r2 ->
+  return
+    {
+      Dp.p_name = "fuzz-dp";
+      p_regs = [| Dp.reg "cwnd" 10.0; Dp.reg "s1" r1; Dp.reg ~volatile:true "s2" r2 |];
+      p_cwnd = 0;
+      p_on_ack = Dp.fold_of_assigns on_ack;
+      p_on_loss = Dp.fold_of_assigns on_loss;
+      p_triggers = Array.of_list triggers;
+    }
+
+(* Handler mirroring what a generated control program may do: install a
+   clamped window, sometimes a pacing rate. *)
+let handler_of ~install_rate (rep : Dp.report) (act : Dp.actions) =
+  let w = rep.Dp.rp_regs.(0) in
+  act.Dp.a_cwnd <- Float.max 1.0 (Float.min 1000.0 w);
+  if install_rate then act.Dp.a_rate_pps <- 200.0 +. (10.0 *. rep.Dp.rp_regs.(1))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (_, seed, install_rate) ->
+      Printf.sprintf "seed=%d install_rate=%b" seed install_rate)
+    QCheck.Gen.(
+      gen_program >>= fun p ->
+      int_bound 1000 >>= fun seed ->
+      bool >>= fun install_rate -> return (p, seed, install_rate))
+
+let prop_random_program_audited (p, seed, install_rate) =
+  (match Dp.validate_program p with
+  | Ok () -> ()
+  | Error e -> QCheck.Test.fail_reportf "generator built invalid program: %s" e);
+  let factory =
+    Dp.to_factory
+      ~program:(fun _ -> p)
+      ~handler:(fun _ _ -> handler_of ~install_rate)
+  in
+  (* Audited impaired dumbbell: Audit.Violation fails the property. *)
+  let cfg =
+    Link.config ~loss_rate:0.02 ~dup_prob:0.01 ~bandwidth_mbps:10.0 ~rtt_ms:20.0
+      ~buffer_bytes:60_000 ()
+  in
+  let r = Net.Runner.create_topo ~seed (Topology.dumbbell cfg) in
+  let dut = Net.Runner.add_flow r ~label:"dut" ~factory in
+  let _peer =
+    Net.Runner.add_flow r ~start:0.5 ~label:"peer"
+      ~factory:(Proteus_cc.Cubic.factory ())
+  in
+  ignore (Net.Runner.attach_audit r);
+  Net.Runner.run r ~until:3.0;
+  ignore (Net.Flow_stats.bytes_acked (Net.Runner.stats dut));
+  (* Synthetic drive of the raw sender interface: next_send must never
+     be NaN whatever the fold did to the registers. *)
+  let s = factory (mk_env ()) in
+  let rng = Rng.create ~seed in
+  let now = ref 0.0 in
+  for i = 0 to 300 do
+    now := !now +. (0.01 *. Rng.float rng 1.0);
+    let t = Sender.next_send s ~now:!now in
+    if Float.is_nan t then QCheck.Test.fail_reportf "NaN next_send at %g" !now;
+    if t <= !now then Sender.on_sent s ~now:!now ~seq:i ~size:1500;
+    match Rng.int rng 4 with
+    | 0 -> Sender.on_loss s ~now:!now ~seq:i ~send_time:(!now -. 0.02) ~size:1500
+    | _ ->
+        Sender.on_ack s ~now:!now ~seq:i ~send_time:(!now -. 0.02) ~size:1500
+          ~rtt:(Rng.float rng 0.2)
+  done;
+  true
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~count:30 ~name:"random fold programs pass the auditor"
+      arb_case prop_random_program_audited;
+  ]
+
+let suite =
+  [
+    ("register init and window check", `Quick, test_register_init);
+    ("update/report/reset ordering", `Quick, test_update_report_reset_ordering);
+    ("loss-trigger edge and install", `Quick, test_loss_trigger_edge);
+    ("install survives volatile reset", `Quick, test_install_survives_volatile_reset);
+    ("interval trigger", `Quick, test_interval_trigger);
+    ("NaN window never yields NaN next_send", `Quick, test_nan_window_never_nan_next_send);
+    ("overrides and validation", `Quick, test_overrides);
+    ("expression evaluation", `Quick, test_eval_expr);
+    ("golden parity: cubic dumbbell", `Quick, test_cubic_parity_dumbbell);
+    ("golden parity: cubic 3-hop chain", `Quick, test_cubic_parity_chain);
+    ("golden parity: ledbat dumbbell", `Quick, test_ledbat_parity_dumbbell);
+    ("golden parity: ledbat 3-hop chain", `Quick, test_ledbat_parity_chain);
+    ("golden parity: ledbat-25 via const override", `Quick, test_ledbat25_const_override_parity);
+    ("interval reports are behavior-neutral", `Quick, test_interval_reports_behavior_neutral);
+    ("determinism across a 4-domain pool", `Quick, test_jobs4_determinism);
+    ("ACK hot path is allocation-free", `Quick, test_ack_path_allocation_free);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props

@@ -12,6 +12,7 @@ let () =
       ("topology", Test_topology.suite);
       ("faults", Test_faults.suite);
       ("cc", Test_cc.suite);
+      ("datapath", Test_datapath.suite);
       ("proteus", Test_proteus.suite);
       ("equilibrium", Test_equilibrium.suite);
       ("policies", Test_policies.suite);

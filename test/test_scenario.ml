@@ -356,7 +356,15 @@ let gen_spec =
     gen_cc >>= fun cc ->
     float_range 0.0 1.5 >>= fun start ->
     return
-      { Spec.cc; label; start; stop = None; size_mb = None; route = Spec.E2e }
+      {
+        Spec.cc;
+        label;
+        start;
+        stop = None;
+        size_mb = None;
+        route = Spec.E2e;
+        dp = None;
+      }
   in
   int_range 1 3 >>= fun n_flows ->
   let labels = List.filteri (fun i _ -> i < n_flows) [ "a"; "b"; "c" ] in
@@ -496,6 +504,77 @@ let test_gate_parse_bench () =
       Alcotest.(check int) "trials" 3 r.Gate.trials);
   Sys.remove path
 
+let test_datapath_cc_form () =
+  let src =
+    "(scenario (name dp) (duration 6) (topology (dumbbell (link (bw-mbps 10) \
+     (rtt-ms 40) (buffer-bytes 150000)))) (flows (flow (cc (datapath cubic-dp \
+     (interval 0.5) (const ssthresh 200))) (label a)) (flow (cc (datapath \
+     ledbat-dp (const target 0.025))) (label b))))"
+  in
+  let spec = parse_spec src in
+  (match spec.Spec.flows with
+  | [ a; b ] ->
+      Alcotest.(check string) "cc a" "cubic-dp" a.Spec.cc;
+      (match a.Spec.dp with
+      | Some { Spec.dp_interval = Some i; dp_consts = [ ("ssthresh", v) ] } ->
+          Alcotest.(check (float 0.0)) "interval" 0.5 i;
+          Alcotest.(check (float 0.0)) "const" 200.0 v
+      | _ -> Alcotest.fail "flow a: datapath overrides not parsed");
+      (match b.Spec.dp with
+      | Some { Spec.dp_interval = None; dp_consts = [ ("target", v) ] } ->
+          Alcotest.(check (float 0.0)) "target" 0.025 v
+      | _ -> Alcotest.fail "flow b: datapath overrides not parsed")
+  | fs -> Alcotest.failf "expected 2 flows, got %d" (List.length fs));
+  (* Canonical printing round-trips the datapath form. *)
+  (match Spec.of_sexp (Spec.to_sexp spec) with
+  | Ok t when t = spec -> ()
+  | Ok _ -> Alcotest.fail "datapath form did not round-trip structurally"
+  | Error e -> Alcotest.failf "round-trip: %s" e);
+  (* Rejections: non-datapath protocol, unknown register, bad interval. *)
+  let reject frag msg =
+    let src =
+      Printf.sprintf
+        "(scenario (name dp) (duration 6) (topology (dumbbell (link (bw-mbps \
+         10) (rtt-ms 40) (buffer-bytes 150000)))) (flows (flow (cc %s) (label \
+         a))))"
+        frag
+    in
+    match Sexp.parse_string src with
+    | Error e -> Alcotest.failf "sexp: %s" e
+    | Ok [ form ] -> (
+        match Spec.of_sexp form with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "accepted %s (%s)" frag msg)
+    | Ok _ -> Alcotest.fail "expected one form"
+  in
+  reject "(datapath cubic (interval 0.5))" "non-datapath protocol";
+  reject "(datapath cubic-dp (const warp 1))" "unknown register";
+  reject "(datapath cubic-dp (interval -1))" "negative interval";
+  reject "(datapath)" "missing name";
+  (* An interval-only override is behaviour-neutral (CUBIC's handler
+     ignores interval reports): the datapath form must run
+     byte-identically to the plain name. Register consts like the
+     ssthresh override above DO change behaviour, so strip them. *)
+  let with_a dp =
+    {
+      spec with
+      Spec.flows =
+        List.map
+          (fun f -> if f.Spec.label = "a" then { f with Spec.dp = dp } else f)
+          spec.Spec.flows;
+    }
+  in
+  let neutral =
+    with_a (Some { Spec.dp_interval = Some 0.5; dp_consts = [] })
+  in
+  let m_dp = Scn.Build.run_metrics ~seed:5 neutral in
+  let m_plain = Scn.Build.run_metrics ~seed:5 (with_a None) in
+  List.iter2
+    (fun (k1, v1) (k2, v2) ->
+      Alcotest.(check string) "metric key" k1 k2;
+      Alcotest.(check (float 0.0)) k1 v1 v2)
+    m_dp m_plain
+
 let test_protocols_registry () =
   List.iter
     (fun name ->
@@ -532,6 +611,7 @@ let suite =
     ("gate pass/regression", `Quick, test_gate_pass_and_regression);
     ("gate shape changes", `Quick, test_gate_shape_changes);
     ("gate parses bench rows", `Quick, test_gate_parse_bench);
+    ("datapath cc form", `Quick, test_datapath_cc_form);
     ("protocol registry", `Quick, test_protocols_registry);
   ]
   @ qcheck [ prop_generated_spec_runs ]
